@@ -1,0 +1,64 @@
+"""Ablation: sweep the split ratio p and verify Theorem 1's structure.
+
+T(p) from the closed-form model is piecewise linear with its minimum exactly
+at p0 = T_IR / (T_CR + T_IR); the simulated T(p) is also minimized near the
+searched split and the searched split never loses to the closed form.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments.common import build_scenario
+from repro.repair.hybrid import plan_hybrid
+from repro.repair.model import repair_model
+from repro.simnet.fluid import FluidSimulator
+
+
+def sweep(ctx, ps):
+    sim = FluidSimulator(ctx.cluster)
+    return [sim.run(plan_hybrid(ctx, p=float(p)).tasks).makespan for p in ps]
+
+
+def test_psweep_model_minimum_at_p0(benchmark):
+    sc = build_scenario(32, 8, 8, wld="WLD-8x", seed=2023)
+    model = repair_model(sc.ctx)
+    ps = np.linspace(0, 1, 21)
+
+    def run():
+        return [model.t(float(p)) for p in ps]
+
+    ts = benchmark(run)
+    assert min(ts) >= model.t(model.p0) - 1e-9
+    attach(benchmark, p0=model.p0, t_at_p0=model.t(model.p0))
+
+
+def test_psweep_simulated_search_is_optimal(benchmark):
+    sc = build_scenario(16, 8, 4, wld="WLD-4x", seed=2024)
+    ps = np.linspace(0, 1, 11)
+    ts = benchmark.pedantic(sweep, args=(sc.ctx, ps), rounds=1, iterations=1)
+    searched = plan_hybrid(sc.ctx, split="search")
+    sim_best = FluidSimulator(sc.ctx.cluster).run(searched.tasks).makespan
+    assert sim_best <= min(ts) + 1e-6
+    attach(benchmark, searched_p=searched.meta["p0"], sim_best_s=sim_best)
+
+
+def test_psweep_theorem1_vs_search(benchmark):
+    """The searched split never loses to the Theorem 1 closed form."""
+    results = []
+
+    def run():
+        sim_results = []
+        for seed in (2023, 2024, 2025):
+            sc = build_scenario(32, 8, 4, wld="WLD-2x", seed=seed)
+            sim = FluidSimulator(sc.ctx.cluster)
+            t_t1 = sim.run(plan_hybrid(sc.ctx, split="theorem1").tasks).makespan
+            t_se = sim.run(plan_hybrid(sc.ctx, split="search").tasks).makespan
+            sim_results.append((t_t1, t_se))
+        return sim_results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for t_t1, t_se in results:
+        assert t_se <= t_t1 + 1e-9
+    gain = float(np.mean([1 - t_se / t_t1 for t_t1, t_se in results]))
+    attach(benchmark, mean_gain_over_theorem1_pct=100 * gain)

@@ -1,0 +1,53 @@
+"""Reed-Solomon codec throughput benchmarks."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach
+from repro.ec.rs import get_code
+
+
+def stripe_inputs(k, block_bytes, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(k, block_bytes), dtype=np.uint8)
+
+
+@pytest.mark.parametrize("k,m", [(6, 3), (64, 8)])
+def test_encode_throughput(benchmark, k, m):
+    code = get_code(k, m)
+    data = stripe_inputs(k, 1 << 18)
+    parity = benchmark(code.encode, data)
+    assert parity.shape == (m, 1 << 18)
+    attach(benchmark, data_MB=k * (1 << 18) / 2**20)
+
+
+@pytest.mark.parametrize("k,m,f", [(6, 3, 3), (64, 8, 8)])
+def test_decode_throughput(benchmark, k, m, f):
+    code = get_code(k, m)
+    data = stripe_inputs(k, 1 << 17, seed=1)
+    stripe = code.encode_stripe(data)
+    dead = list(range(f))
+    avail = {i: stripe[i] for i in range(f, k + m)}
+
+    out = benchmark(code.decode, avail, dead)
+    for d in dead:
+        assert np.array_equal(out[d], stripe[d])
+
+
+def test_repair_matrix_setup_cost(benchmark):
+    """Repair-matrix computation for a wide stripe, cache-cold each round."""
+    code = get_code(64, 16)
+
+    def run():
+        code._repair_cache.clear()
+        return code.repair_matrix(list(range(16, 80)), list(range(8)))
+
+    r = benchmark(run)
+    assert r.shape == (8, 64)
+
+
+def test_repair_matrix_cache_hit(benchmark):
+    code = get_code(64, 16)
+    code.repair_matrix(list(range(16, 80)), list(range(8)))  # warm
+    r = benchmark(code.repair_matrix, list(range(16, 80)), list(range(8)))
+    assert r.shape == (8, 64)

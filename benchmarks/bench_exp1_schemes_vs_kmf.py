@@ -1,0 +1,50 @@
+"""Experiment 1 / Figure 8 bench: CR vs IR vs HMBR across (k, m, f) and WLDs.
+
+Asserts the paper's headline claims: HMBR never loses, IR beats CR under a
+2x gap, and the reductions at (64, 8, 8) under WLD-8x are substantial.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments.exp1 import run as run_exp1
+
+
+GRID = [(6, 3, 2), (12, 4, 4), (32, 8, 8), (64, 8, 8)]
+
+
+def test_exp1_grid(benchmark):
+    rows = benchmark.pedantic(
+        run_exp1,
+        kwargs={"grid": GRID, "wlds": ["WLD-2x", "WLD-4x", "WLD-8x"], "seeds": (2023, 2024)},
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row["hmbr"] <= min(row["cr"], row["ir"]) + 1e-9, row
+    # IR wins under the 2x gap for every configuration (paper's observation)
+    for row in rows:
+        if row["wld"] == "WLD-2x":
+            assert row["ir"] < row["cr"], row
+    headline = next(
+        r for r in rows if r["wld"] == "WLD-8x" and r["(k,m,f)"] == "(64,8,8)"
+    )
+    assert headline["hmbr_vs_cr_%"] > 30
+    assert headline["hmbr_vs_ir_%"] > 30
+    attach(
+        benchmark,
+        hmbr_vs_cr_pct=headline["hmbr_vs_cr_%"],
+        hmbr_vs_ir_pct=headline["hmbr_vs_ir_%"],
+        paper_vs_cr_pct=57.5,
+        paper_vs_ir_pct=64.8,
+    )
+
+
+def test_exp1_single_scenario_planning_cost(benchmark):
+    """Planning + simulating one wide-stripe HMBR repair (the hot path)."""
+    from repro.experiments.common import build_scenario, transfer_time
+
+    sc = build_scenario(64, 8, 8, wld="WLD-8x", seed=2023)
+    t = benchmark(transfer_time, sc.ctx, "hmbr")
+    assert t > 0
+    attach(benchmark, hmbr_transfer_s=t)

@@ -1,0 +1,29 @@
+"""Experiment 2 / Figure 9 bench: repair time versus f under WLD-2x."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments.exp2 import run as run_exp2
+
+
+def test_exp2_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_exp2,
+        kwargs={"cases": {(32, 8): [2, 4, 8], (64, 16): [4, 8, 16]}, "seeds": (2023,)},
+        rounds=1,
+        iterations=1,
+    )
+    # repair time grows with f for every scheme and configuration
+    for km in ("(32,8)", "(64,16)"):
+        sub = [r for r in rows if r["(k,m)"] == km]
+        for scheme in ("cr", "ir", "hmbr"):
+            times = [r[scheme] for r in sub]
+            # CR is center-bound and roughly flat; IR/HMBR must grow
+            if scheme != "cr":
+                assert times == sorted(times), (km, scheme, times)
+    # HMBR never loses; IR beats CR under the small gap (paper's claim)
+    for r in rows:
+        assert r["hmbr"] <= min(r["cr"], r["ir"]) + 1e-9
+        assert r["ir"] < r["cr"]
+    worst = max(rows, key=lambda r: r["hmbr"])
+    attach(benchmark, max_hmbr_s=worst["hmbr"], at=worst["(k,m)"] + f"/f={worst['f']}")

@@ -1,0 +1,32 @@
+"""Experiment 3 / Figure 10 bench: repair time versus block size, WLD-4x."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments.exp3 import run as run_exp3
+
+
+def test_exp3_block_size_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_exp3,
+        kwargs={
+            "cases": [(64, 8, 8), (64, 16, 16)],
+            "sizes_mb": [8.0, 16.0, 32.0, 64.0],
+            "seeds": (2023,),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for case in ("(64,8,8)", "(64,16,16)"):
+        sub = sorted((r for r in rows if r["(k,m,f)"] == case), key=lambda r: r["block_mb"])
+        for scheme in ("cr", "ir", "hmbr"):
+            times = [r[scheme] for r in sub]
+            # linear growth in block size (paper: "increases with block size")
+            assert times == sorted(times)
+            assert times[-1] == pytest.approx(times[0] * 8, rel=0.1)
+        # the gaps stay stable: HMBR's relative win is size-independent
+        ratios = [r["hmbr"] / r["ir"] for r in sub]
+        assert max(ratios) - min(ratios) < 0.12
+        for r in sub:
+            assert r["hmbr"] <= min(r["cr"], r["ir"]) + 1e-9
+    attach(benchmark, hmbr_64mb_s=rows[-1]["hmbr"])

@@ -1,0 +1,45 @@
+"""Experiment 4 / Figure 11 bench: HMBR vs rack-aware HMBR.
+
+Reduced to (32, 8) stripes (the paper uses (64, 8)/(64, 16); tree building
+on k=64 is the expensive part) with racks of 8 and 1/5 cross-rack caps.
+Asserts the direction (rack-aware wins) and the cross-traffic mechanism
+(rack-aware ships ~f x racks cross blocks, overtaking plain CR's k at
+f = rack size).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments.exp4 import run as run_exp4
+
+
+def test_exp4_rack_aware(benchmark):
+    rows = benchmark.pedantic(
+        run_exp4,
+        kwargs={"cases": {(32, 8): [2, 4, 8]}, "rack_size": 8, "seeds": (2023,)},
+        rounds=1,
+        iterations=1,
+    )
+    for r in rows:
+        assert r["rack_hmbr"] <= r["hmbr"] + 1e-9, r
+    by_f = {r["f"]: r for r in rows}
+    # mechanism check: rack-aware cross traffic grows with f (f intermediates
+    # per rack) while plain HMBR's stays ~proportional to k
+    assert by_f[8]["cross_mb_rack"] > by_f[2]["cross_mb_rack"] * 2
+    attach(
+        benchmark,
+        reduction_f2_pct=by_f[2]["reduction_%"],
+        reduction_f8_pct=by_f[8]["reduction_%"],
+        paper_mean_pct=33.9,
+        paper_max_pct=55.3,
+    )
+
+
+def test_exp4_tree_construction_cost(benchmark):
+    """Tree-IR planning cost for a wide stripe (the scaling-relevant path)."""
+    from repro.experiments.common import build_scenario
+    from repro.repair.rackaware import plan_tree_independent
+
+    sc = build_scenario(64, 8, 4, wld="WLD-2x", seed=2023, rack_size=8, cross_factor=5.0)
+    plan = benchmark(plan_tree_independent, sc.ctx)
+    assert len(plan.tasks) == 4 * 64  # f trees x k edges

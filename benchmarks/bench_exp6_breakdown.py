@@ -1,0 +1,32 @@
+"""Experiment 6 / Table II bench: transfer vs other time breakdown."""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.experiments.exp6 import run as run_exp6
+
+
+def test_exp6_breakdown(benchmark):
+    rows = benchmark.pedantic(
+        run_exp6,
+        kwargs={"cases": [(32, 4), (64, 8)], "test_block_bytes": 1 << 16},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 6
+    fracs = [r["T_t_frac_%"] for r in rows]
+    # paper: transfer dominates, ~87.5% on average
+    assert sum(fracs) / len(fracs) > 75.0
+    for r in rows:
+        assert r["T_t_frac_%"] > 60.0, r
+    hmbr64 = next(r for r in rows if r["scheme"] == "HMBR" and r["(k,m)"] == "(64,8)")
+    cr64 = next(r for r in rows if r["scheme"] == "CR" and r["(k,m)"] == "(64,8)")
+    ir64 = next(r for r in rows if r["scheme"] == "IR" and r["(k,m)"] == "(64,8)")
+    assert hmbr64["T_t_s"] < min(cr64["T_t_s"], ir64["T_t_s"])
+    attach(
+        benchmark,
+        mean_transfer_fraction_pct=sum(fracs) / len(fracs),
+        paper_mean_pct=87.5,
+        hmbr_64_8_T_t=hmbr64["T_t_s"],
+        paper_hmbr_64_8_T_t=8.64,
+    )

@@ -1,0 +1,92 @@
+"""Benches for the extensions beyond the paper's evaluation.
+
+* §VII dynamic bandwidth workloads (stale vs dynamics-aware split),
+* single-block baselines (star / chain-RP / PPR) across stripe widths,
+* the MTTDL durability pay-off of faster multi-block repair,
+* automatic scheme selection,
+* load-balance profile of the three schemes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach
+from repro.analysis.reliability import scheme_mttdl_comparison
+from repro.analysis.traffic import compare_load_balance
+from repro.experiments.common import build_scenario, plan_for, transfer_time
+from repro.experiments.exp_dynamic import run as run_dynamic
+from repro.repair.selector import choose_scheme
+from repro.repair.singleblock import SINGLE_BLOCK_SCHEMES
+from repro.simnet.fluid import FluidSimulator
+
+
+def test_dynamic_workloads(benchmark):
+    rows = benchmark.pedantic(
+        run_dynamic, kwargs={"cases": [(16, 8, 4)], "seeds": (2023, 2024)},
+        rounds=1, iterations=1,
+    )
+    row = rows[0]
+    assert row["hmbr_aware"] <= row["hmbr_stale"] + 1e-9
+    attach(benchmark, aware_gain_pct=row["aware_gain_%"])
+
+
+@pytest.mark.parametrize("k", [8, 64])
+def test_single_block_schemes(benchmark, k):
+    sc = build_scenario(k, 4, 1, wld="WLD-4x", seed=2023)
+    sim = FluidSimulator(sc.cluster)
+
+    def run():
+        return {
+            name: sim.run(planner(sc.ctx).tasks).makespan
+            for name, planner in SINGLE_BLOCK_SCHEMES.items()
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert times["chain"] <= times["star"]
+    attach(benchmark, **{f"{n}_s": t for n, t in times.items()})
+
+
+def test_durability_payoff(benchmark):
+    """Faster HMBR repairs buy measurable MTTDL over CR/IR."""
+
+    def run():
+        times = {"cr": {}, "ir": {}, "hmbr": {}}
+        for f in range(1, 5):
+            sc = build_scenario(16, 4, f, wld="WLD-8x", seed=2023)
+            for scheme in times:
+                times[scheme][f] = transfer_time(sc.ctx, scheme)
+        return scheme_mttdl_comparison(16, 4, times, node_mttf_hours=5_000.0)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert out["hmbr"].mttdl_hours >= max(out["cr"].mttdl_hours, out["ir"].mttdl_hours)
+    attach(
+        benchmark,
+        hmbr_mttdl_years=out["hmbr"].mttdl_years,
+        cr_mttdl_years=out["cr"].mttdl_years,
+        ir_mttdl_years=out["ir"].mttdl_years,
+    )
+
+
+def test_scheme_selector(benchmark):
+    sc = build_scenario(32, 8, 4, wld="WLD-8x", seed=2023)
+    choice = benchmark.pedantic(choose_scheme, args=(sc.ctx,), rounds=1, iterations=1)
+    assert choice.predicted_s == min(choice.candidates.values())
+    attach(benchmark, chosen=choice.scheme, predicted_s=choice.predicted_s)
+
+
+def test_load_balance_profiles(benchmark):
+    sc = build_scenario(32, 8, 8, wld="WLD-2x", seed=2023)
+
+    def run():
+        plans = [plan_for(sc.ctx, s) for s in ("cr", "ir", "hmbr")]
+        return compare_load_balance(plans)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {r["scheme"]: r for r in rows}
+    assert by["IR"]["recv_gini"] < by["CR"]["recv_gini"]
+    attach(
+        benchmark,
+        cr_recv_gini=by["CR"]["recv_gini"],
+        ir_recv_gini=by["IR"]["recv_gini"],
+        hmbr_recv_gini=by["HMBR"]["recv_gini"],
+    )

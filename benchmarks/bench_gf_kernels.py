@@ -1,0 +1,59 @@
+"""GF(2^8) kernel microbenchmarks (the ISA-L replacement's hot loops)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach
+from repro.gf.field import GF, gf8
+from repro.gf.matrix import gf_inv, gf_matmul
+
+BUF_MB = 4
+BUF = np.random.default_rng(0).integers(0, 256, size=BUF_MB << 20, dtype=np.uint8)
+BUF2 = np.random.default_rng(1).integers(0, 256, size=BUF_MB << 20, dtype=np.uint8)
+
+
+def test_scale_throughput(benchmark):
+    out = benchmark(gf8.scale, 137, BUF)
+    assert out.shape == BUF.shape
+    mbps = BUF_MB / benchmark.stats["mean"]
+    attach(benchmark, throughput_MBps=mbps)
+
+
+def test_addmul_throughput(benchmark):
+    dst = BUF2.copy()
+
+    def run():
+        gf8.addmul(dst, 71, BUF)
+
+    benchmark(run)
+    attach(benchmark, throughput_MBps=BUF_MB / benchmark.stats["mean"])
+
+
+def test_combine_k_blocks(benchmark):
+    """One decoded output from k=16 inputs of 256 KiB (a repair combine)."""
+    rng = np.random.default_rng(2)
+    blocks = [rng.integers(0, 256, size=1 << 18, dtype=np.uint8) for _ in range(16)]
+    coeffs = list(range(1, 17))
+    out = benchmark(gf8.combine, coeffs, blocks)
+    assert out.size == 1 << 18
+    attach(benchmark, inputs=16, input_bytes_total=16 << 18)
+
+
+def test_matrix_inverse_wide_stripe(benchmark):
+    """Inverting the 64x64 survivor submatrix (repair-plan setup cost)."""
+    rng = np.random.default_rng(3)
+    from repro.ec.matrices import systematic_cauchy_generator
+
+    g = systematic_cauchy_generator(64, 16)
+    rows = rng.choice(80, size=64, replace=False)
+    a = g[sorted(rows)]
+    inv = benchmark(gf_inv, a, gf8)
+    eye = gf_matmul(a, inv, gf8)
+    assert (np.diag(eye) == 1).all()
+
+
+def test_gf16_scale_throughput(benchmark):
+    f16 = GF(16)
+    buf = np.random.default_rng(4).integers(0, 65536, size=1 << 20, dtype=np.uint16)
+    out = benchmark(f16.scale, 12345, buf)
+    assert out.shape == buf.shape

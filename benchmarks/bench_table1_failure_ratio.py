@@ -1,0 +1,50 @@
+"""Table I bench: multi-block failure ratio R vs (k, m) and N.
+
+Regenerates the full paper grid with the exact estimator (fast), benchmarks
+the Monte-Carlo and placement estimators, and asserts agreement with the
+paper's published numbers.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.analysis.failure_sim import (
+    failure_ratio_exact,
+    failure_ratio_montecarlo,
+    simulate_failure_ratio_placement,
+)
+from repro.experiments.table1 import PAPER_TABLE1, run as run_table1
+
+
+def test_table1_full_grid_exact(benchmark):
+    rows = benchmark(run_table1, method="exact")
+    # every cell within 1.5 percentage points of the paper
+    for row in rows:
+        km = row["(k,m)"]
+        k, m = map(int, km.strip("()").split(","))
+        for n, paper in PAPER_TABLE1[(k, m)].items():
+            assert row[f"R(N={n})%"] == pytest.approx(paper, abs=1.5)
+    attach(
+        benchmark,
+        R_64_8_N5000_pct=next(r for r in rows if r["(k,m)"] == "(64,8)")["R(N=5000)%"],
+        paper_value_pct=31.23,
+    )
+
+
+def test_table1_montecarlo_estimator(benchmark):
+    r = benchmark(failure_ratio_montecarlo, 64, 8, 2500, n_stripes=200_000, rng=0)
+    assert r == pytest.approx(failure_ratio_exact(64, 8, 2500), rel=0.03)
+    attach(benchmark, R_montecarlo=100 * r)
+
+
+def test_table1_placement_simulation(benchmark):
+    """The paper's literal experiment via the cluster/placement machinery."""
+    r = benchmark.pedantic(
+        simulate_failure_ratio_placement,
+        args=(64, 8, 1000),
+        kwargs={"n_stripes": 4000, "rng": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert r == pytest.approx(failure_ratio_exact(64, 8, 1000), rel=0.12)
+    attach(benchmark, R_placement=100 * r, paper_value_pct=30.13)

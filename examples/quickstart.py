@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure 2 worked example, end to end.
+
+A (3, 2) Reed-Solomon stripe loses two blocks when two nodes die.  We plan
+the repair three ways — centralized (CR), independent pipelined (IR), and
+HMBR's hybrid — simulate the transfer times on the figure's bandwidths, and
+then actually repair real bytes with the plan executor to prove the hybrid
+produces bit-exact blocks.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Cluster,
+    FluidSimulator,
+    Node,
+    PlanExecutor,
+    RepairContext,
+    RSCode,
+    Stripe,
+    Workspace,
+    plan_centralized,
+    plan_hybrid,
+    plan_independent,
+    repair_model,
+)
+
+
+def main() -> None:
+    # --- the Figure 2 cluster: five stripe nodes + two new nodes ---------
+    nodes = [
+        Node(0, uplink=800, downlink=1000),  # N1, will die (stores D1)
+        Node(1, uplink=800, downlink=1000),  # N2, will die (stores P2)
+        Node(2, uplink=800, downlink=1000),  # N3, stores D2
+        Node(3, uplink=640, downlink=1000),  # N4, stores D3 (slowest uplink)
+        Node(4, uplink=900, downlink=1000),  # N5, stores P1
+        Node(5, uplink=1000, downlink=1000),  # N1' (new)
+        Node(6, uplink=1000, downlink=1000),  # N2' (new)
+    ]
+    cluster = Cluster(nodes)
+    code = RSCode(3, 2)
+    stripe = Stripe(0, 3, 2, [0, 2, 3, 4, 1])  # D1,D2,D3,P1,P2 placements
+
+    # --- two nodes fail -> blocks D1 (index 0) and P2 (index 4) are lost -
+    cluster.fail_nodes([0, 1])
+    ctx = RepairContext(
+        cluster=cluster,
+        code=code,
+        stripe=stripe,
+        failed_blocks=[0, 4],
+        new_nodes=[5, 6],
+        block_size_mb=64.0,
+    )
+
+    # --- the Section III model ------------------------------------------
+    model = repair_model(ctx)
+    print("Analytical model (Eqs. 2-5):")
+    print(f"  T_CR = {model.t_cr:.3f} s   (paper's download stage alone: 0.192 s)")
+    print(f"  T_IR = {model.t_ir:.3f} s   (paper: 0.20 s)")
+    print(f"  p0   = {model.p0:.3f}       T(p0) = {model.t_hmbr:.3f} s")
+
+    # --- simulate the three repair plans --------------------------------
+    sim = FluidSimulator(cluster)
+    plans = {
+        "CR  ": plan_centralized(ctx),
+        "IR  ": plan_independent(ctx),
+        "HMBR": plan_hybrid(ctx),
+    }
+    print("\nSimulated repair transfer times (fluid network model):")
+    for name, plan in plans.items():
+        t = sim.run(plan.tasks).makespan
+        extra = f"  (split p0 = {plan.meta['p0']:.3f})" if "p0" in plan.meta else ""
+        print(f"  {name}: {t * 1e3:7.1f} ms{extra}")
+
+    # --- repair real bytes and verify -----------------------------------
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 256, size=(3, 64 * 1024), dtype=np.uint8)
+    full_stripe = code.encode_stripe(data)
+
+    for name, plan in plans.items():
+        ws = Workspace()
+        ws.load_stripe(stripe, full_stripe)
+        ws.drop_node(0)
+        ws.drop_node(1)
+        report = PlanExecutor(ws).execute(
+            plan, verify_against={0: full_stripe[0], 4: full_stripe[4]}
+        )
+        print(
+            f"{name.strip()}: repaired both blocks bit-exactly "
+            f"({report.op_count} agent ops, "
+            f"{report.gf_bytes_processed / 1024:.0f} KiB through GF kernels)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Rack-aware HMBR in a hierarchical (rack-based) datacenter network.
+
+Builds a (32, 8) wide stripe across racks of 8 nodes with cross-rack traffic
+capped at 1/5 of each node's link rate (the paper's ``tc`` shaping), fails
+f nodes, and compares plain HMBR against rack-aware HMBR (local collectors
+for CR + least-used-link repair trees for IR) on both repair time and
+cross-rack bytes.
+
+Run:  python examples/rack_aware_repair.py
+"""
+
+import numpy as np
+
+from repro import FluidSimulator, PlanExecutor, Workspace
+from repro.experiments.common import build_scenario, plan_for
+
+
+def main() -> None:
+    k, m = 32, 8
+    rack_size, cross_factor = 8, 5.0
+
+    print(f"({k},{m}) stripe, racks of {rack_size}, cross-rack capped at 1/{cross_factor:g}")
+    print(f"{'f':>3} {'HMBR [s]':>10} {'rack-HMBR [s]':>14} {'saved':>7} "
+          f"{'cross MB (plain)':>17} {'cross MB (rack)':>16}")
+
+    for f in (2, 4, 8):
+        sc = build_scenario(
+            k, m, f,
+            wld="WLD-2x",
+            seed=2023,
+            rack_size=rack_size,
+            cross_factor=cross_factor,
+        )
+        sim = FluidSimulator(sc.cluster)
+        plain = plan_for(sc.ctx, "hmbr")
+        rack = plan_for(sc.ctx, "rack-hmbr")
+        r_plain = sim.run(plain.tasks)
+        r_rack = sim.run(rack.tasks)
+        saved = 100 * (1 - r_rack.makespan / r_plain.makespan)
+        print(
+            f"{f:3d} {r_plain.makespan:10.2f} {r_rack.makespan:14.2f} {saved:6.1f}% "
+            f"{r_plain.cross_rack_mb:17.0f} {r_rack.cross_rack_mb:16.0f}"
+        )
+
+        # verify the rack-aware plan repairs real data (small buffers)
+        rng = np.random.default_rng(f)
+        data = rng.integers(0, 256, size=(k, 4096), dtype=np.uint8)
+        full = sc.ctx.code.encode_stripe(data)
+        ws = Workspace()
+        ws.load_stripe(sc.ctx.stripe, full)
+        for node in sc.dead_nodes:
+            ws.drop_node(node)
+        PlanExecutor(ws).execute(
+            rack, verify_against={b: full[b] for b in sc.ctx.failed_blocks}
+        )
+
+    print("\nall rack-aware repairs verified bit-exactly")
+    print("note the mechanism: rack-aware CR ships f intermediate blocks per rack")
+    print("instead of one block per survivor, so its cross traffic grows with f")
+    print("and overtakes plain CR's when f reaches the rack size (paper §V, Exp 4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""A wide-stripe erasure-coded storage cluster surviving a power outage.
+
+This drives the full storage system (coordinator + agents, the OpenEC/HDFS
+stand-in): write files under a (16, 4) wide-stripe code, lose 2 nodes to a
+correlated outage, detect the failures via missed heartbeats, read files in
+degraded mode, repair every affected stripe with HMBR, and verify the data.
+
+Run:  python examples/wide_stripe_cluster.py
+"""
+
+import numpy as np
+
+from repro import Cluster, Coordinator, Node, RSCode, make_wld
+
+
+def main() -> None:
+    k, m = 16, 4
+    n_data, n_spare = 40, 4
+
+    # heterogeneous bandwidths, WLD-4x style (fastest node = 4x slowest)
+    ds = make_wld(n_data + n_spare, "WLD-4x", seed=42)
+    cluster = Cluster(
+        [Node(i, float(ds.uplinks[i]), float(ds.downlinks[i])) for i in range(n_data)]
+    )
+    coord = Coordinator(cluster, RSCode(k, m), block_bytes=1 << 14, block_size_mb=64.0, rng=42)
+    for j in range(n_spare):
+        i = n_data + j
+        coord.add_spare(Node(i, float(ds.uplinks[i]), float(ds.downlinks[i])))
+
+    # --- client writes ----------------------------------------------------
+    rng = np.random.default_rng(0)
+    files = {}
+    for name, size in [("logs.bin", 900_000), ("model.ckpt", 2_000_000)]:
+        files[name] = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        receipt = coord.write(name, files[name])
+        print(
+            f"wrote {name}: {size / 1e6:.1f} MB across {len(receipt.stripe_ids)} "
+            f"({k},{m}) stripes, redundancy {(k + m) / k:.3f}x"
+        )
+
+    # --- power outage: two nodes never come back --------------------------
+    coord.beat_alive(now=0.0)
+    victims = [3, 17]
+    for v in victims:
+        coord.crash_node(v)
+    coord.beat_alive(now=55.0)  # survivors keep beating
+    dead = coord.detect_failures(now=60.0)
+    print(f"\nheartbeat monitor declared nodes {dead} dead")
+
+    # --- degraded reads still work ----------------------------------------
+    for name, original in files.items():
+        assert coord.read(name) == original
+    print("degraded reads verified for every file (decode-on-read)")
+
+    # --- HMBR repair -------------------------------------------------------
+    report = coord.repair(scheme="hmbr")
+    print(
+        f"\nHMBR repaired {report.blocks_recovered} blocks across "
+        f"{len(report.stripes_repaired)} stripes"
+    )
+    print(f"  simulated transfer time : {report.simulated_transfer_s:8.2f} s (64 MB blocks)")
+    print(f"  measured GF compute     : {report.compute_s_total * 1e3:8.2f} ms (test-size buffers)")
+    print(f"  data moved (modeled)    : {report.bytes_on_wire_mb_model:8.0f} MB")
+    print(f"  replacements            : {report.replacements}")
+
+    for name, original in files.items():
+        assert coord.read(name) == original
+    print("\npost-repair reads verified — full redundancy restored")
+
+    # --- compare against CR and IR on the same failure --------------------
+    # (fresh systems with identical seeds, so the comparison is apples-to-apples)
+    print("\nscheme comparison on this failure:")
+    for scheme in ("cr", "ir", "hmbr"):
+        ds2 = make_wld(n_data + n_spare, "WLD-4x", seed=42)
+        cl2 = Cluster(
+            [Node(i, float(ds2.uplinks[i]), float(ds2.downlinks[i])) for i in range(n_data)]
+        )
+        c2 = Coordinator(cl2, RSCode(k, m), block_bytes=1 << 14, block_size_mb=64.0, rng=42)
+        for j in range(n_spare):
+            i = n_data + j
+            c2.add_spare(Node(i, float(ds2.uplinks[i]), float(ds2.downlinks[i])))
+        for name, payload in files.items():
+            c2.write(name, payload)
+        for v in victims:
+            c2.crash_node(v)
+        rep = c2.repair(scheme=scheme)
+        print(f"  {scheme:5s}: {rep.simulated_transfer_s:7.2f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which shell out to ``bdist_wheel``) fail.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``pip install -e .`` on machines with wheel) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

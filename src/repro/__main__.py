@@ -1,0 +1,87 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro exp1 exp2 ...
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+EXPERIMENTS = {
+    "table1": "Table I — multi-block failure ratio vs (k, m) and N",
+    "exp1": "Fig. 8 — CR/IR/HMBR repair time vs (k, m, f) per workload",
+    "exp2": "Fig. 9 — repair time vs number of failed blocks f",
+    "exp3": "Fig. 10 — repair time vs block size",
+    "exp4": "Fig. 11 — HMBR vs rack-aware HMBR",
+    "exp5": "Fig. 12 — multi-node repair with/without scheduling",
+    "exp6": "Table II — repair time breakdown (T_t vs T_o)",
+    "exp_dynamic": "Extension (§VII) — dynamic bandwidth workloads",
+    "exp_reliability": "Extension — MTTDL durability per repair scheme",
+    "sensitivity": "Extension — HMBR robustness to bandwidth-table error",
+    "exp_lrc": "Extension — wide-stripe RS + HMBR vs Azure-style LRC",
+    "exp_foreground": "Extension — repair impact on foreground traffic",
+    "exp_slo": "Extension — widest stripe under a repair-time SLO",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the HMBR paper's tables and figures.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="experiment names (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write each experiment's rows as CSV (PATH gets a "
+        "-<name> suffix when several experiments run)",
+    )
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets)
+    if targets == ["list"]:
+        for name, desc in EXPERIMENTS.items():
+            print(f"{name:16s} {desc}")
+        return 0
+    if targets == ["all"]:
+        targets = list(EXPERIMENTS)
+
+    for name in targets:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        module = importlib.import_module(f"repro.experiments.{name}")
+        t0 = time.perf_counter()
+        print(f"=== {name}: {EXPERIMENTS[name]} ===")
+        module.main()
+        if args.csv:
+            from pathlib import Path
+
+            from repro.experiments.sweep import rows_to_csv
+
+            base = Path(args.csv)
+            path = (
+                base
+                if len(targets) == 1
+                else base.with_name(f"{base.stem}-{name}{base.suffix or '.csv'}")
+            )
+            rows_to_csv(module.run(), path)
+            print(f"rows written to {path}")
+        print(f"--- {name} done in {time.perf_counter() - t0:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Table II: decomposing overall repair time into transfer and "other" time.
+
+``T_t`` comes from the fluid simulator.  ``T_o`` (CPU + disk I/O) is derived
+from the *actual* GF work the executor performed, scaled from the test-size
+buffers to the modeled block size and charged to a cost model calibrated to
+the paper's testbed (ISA-L-class GF throughput, HDD-class disk):
+
+    T_o = max_node(gf_bytes) / gf_throughput          (nodes compute in parallel)
+        + B/disk_read + B/disk_write                  (survivor read, new-node write)
+        + fixed protocol overhead
+
+The Python LUT kernels are ~20x slower than ISA-L's SIMD kernels, so charging
+*measured Python seconds* would invert the paper's conclusion; charging
+measured *bytes* at calibrated throughput preserves it.  The measured Python
+seconds are still reported for transparency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.repair.context import RepairContext
+from repro.repair.executor import ExecutionReport
+from repro.repair.plan import RepairPlan
+from repro.simnet.fluid import FluidSimulator
+
+
+@dataclass
+class CostModel:
+    """Calibrated non-network costs (defaults target the paper's EC2 nodes)."""
+
+    gf_throughput_gbps: float = 10.0  # ISA-L-class GF(2^8) coding throughput
+    disk_read_mbps: float = 250.0
+    disk_write_mbps: float = 200.0
+    fixed_overhead_s: float = 0.3  # coordination / RPC / process startup
+
+
+@dataclass
+class RepairBreakdown:
+    """One Table II row."""
+
+    scheme: str
+    k: int
+    m: int
+    f: int
+    transfer_s: float  # T_t
+    other_s: float  # T_o
+    python_compute_s: float  # raw measured Python GF time (unscaled info)
+
+    @property
+    def total_s(self) -> float:
+        return self.transfer_s + self.other_s
+
+    @property
+    def transfer_fraction(self) -> float:
+        """T_t / (T_t + T_o): the paper reports ~85-90%."""
+        return self.transfer_s / self.total_s if self.total_s else 0.0
+
+
+def breakdown_for_plan(
+    ctx: RepairContext,
+    plan: RepairPlan,
+    report: ExecutionReport,
+    test_block_bytes: int,
+    cost: CostModel | None = None,
+) -> RepairBreakdown:
+    """Build a breakdown row from a simulated + executed plan.
+
+    ``report`` must come from executing ``plan`` on blocks of
+    ``test_block_bytes`` bytes; GF byte counts are scaled up to the modeled
+    ``ctx.block_size_mb``.
+    """
+    cost = cost or CostModel()
+    sim = FluidSimulator(ctx.cluster).run(plan.tasks)
+    scale = (ctx.block_size_mb * 2**20) / test_block_bytes
+    max_node_bytes = max(report.gf_bytes_by_node.values(), default=0) * scale
+    compute_s = max_node_bytes / (cost.gf_throughput_gbps * 2**30)
+    disk_s = ctx.block_size_mb / cost.disk_read_mbps + ctx.block_size_mb / cost.disk_write_mbps
+    return RepairBreakdown(
+        scheme=plan.scheme,
+        k=ctx.code.k,
+        m=ctx.code.m,
+        f=ctx.f,
+        transfer_s=sim.makespan,
+        other_s=compute_s + disk_s + cost.fixed_overhead_s,
+        python_compute_s=report.total_compute_seconds,
+    )

@@ -1,0 +1,81 @@
+"""Traffic and load-balance analysis of repair plans.
+
+The paper argues qualitatively that IR "keeps balanced load on each node"
+(§IV-C) while CR concentrates everything on the center.  This module makes
+that quantitative: per-node send/receive volumes for any plan, plus two
+imbalance metrics (max/mean ratio and the Gini coefficient), so schemes can
+be compared on fairness as well as speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.repair.plan import RepairPlan
+from repro.simnet.flows import DelayTask
+
+
+@dataclass
+class TrafficProfile:
+    """Per-node traffic volumes (MB) implied by a plan's timing view."""
+
+    scheme: str
+    sent_mb: dict[int, float]
+    received_mb: dict[int, float]
+    total_mb: float
+
+    def volumes(self, direction: str = "sent") -> np.ndarray:
+        data = self.sent_mb if direction == "sent" else self.received_mb
+        return np.array(sorted(data.values()), dtype=float)
+
+    def max_over_mean(self, direction: str = "sent") -> float:
+        """1.0 = perfectly balanced; k = one node does everything."""
+        v = self.volumes(direction)
+        if v.size == 0 or v.mean() == 0:
+            return 0.0
+        return float(v.max() / v.mean())
+
+    def gini(self, direction: str = "sent") -> float:
+        """Gini coefficient of the per-node volumes (0 = equal, ->1 = one hog)."""
+        v = self.volumes(direction)
+        if v.size == 0 or v.sum() == 0:
+            return 0.0
+        v = np.sort(v)
+        n = v.size
+        index = np.arange(1, n + 1)
+        return float((2 * (index * v).sum() - (n + 1) * v.sum()) / (n * v.sum()))
+
+
+def traffic_profile(plan: RepairPlan) -> TrafficProfile:
+    """Aggregate per-node send/receive volumes from the plan's tasks."""
+    sent: dict[int, float] = {}
+    received: dict[int, float] = {}
+    total = 0.0
+    for t in plan.tasks:
+        if isinstance(t, DelayTask):
+            continue
+        for src, dst in t.hops:
+            sent[src] = sent.get(src, 0.0) + t.size_mb
+            received[dst] = received.get(dst, 0.0) + t.size_mb
+            total += t.size_mb
+    return TrafficProfile(plan.scheme, sent, received, total)
+
+
+def compare_load_balance(plans: list[RepairPlan]) -> list[dict]:
+    """Fairness comparison rows for a set of plans on the same scenario."""
+    rows = []
+    for plan in plans:
+        prof = traffic_profile(plan)
+        rows.append(
+            {
+                "scheme": plan.scheme,
+                "total_mb": prof.total_mb,
+                "max_recv_mb": max(prof.received_mb.values(), default=0.0),
+                "recv_max_over_mean": prof.max_over_mean("received"),
+                "send_gini": prof.gini("sent"),
+                "recv_gini": prof.gini("received"),
+            }
+        )
+    return rows

@@ -1,0 +1,46 @@
+"""Cluster substrate: nodes, racks, bandwidth workloads, placement, failures.
+
+Replaces the paper's EC2 testbed (1 coordinator + 88 ``m3.large`` data nodes
+with ``tc``-shaped bandwidths) with a declarative cluster model consumed by
+the network simulator (:mod:`repro.simnet`) and the repair planners
+(:mod:`repro.repair`).
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.cluster.bandwidth import (
+    BandwidthDataset,
+    make_wld,
+    WLD_PRESETS,
+    load_bandwidth_csv,
+    save_bandwidth_csv,
+)
+from repro.cluster.placement import (
+    place_stripes_random,
+    place_stripes_rack_aware,
+    random_stripe_nodes,
+)
+from repro.cluster.failure import FailureInjector, PowerOutage
+from repro.cluster.probing import BandwidthEstimator, measure_bandwidths, noisy_cluster
+from repro.cluster.datasets import canonical_wld, load_wld, materialize_datasets
+
+__all__ = [
+    "Node",
+    "Cluster",
+    "BandwidthDataset",
+    "make_wld",
+    "WLD_PRESETS",
+    "load_bandwidth_csv",
+    "save_bandwidth_csv",
+    "place_stripes_random",
+    "place_stripes_rack_aware",
+    "random_stripe_nodes",
+    "FailureInjector",
+    "PowerOutage",
+    "BandwidthEstimator",
+    "measure_bandwidths",
+    "noisy_cluster",
+    "canonical_wld",
+    "load_wld",
+    "materialize_datasets",
+]

@@ -1,0 +1,61 @@
+"""Canonical WLD bandwidth datasets (the CSVs the paper ships on GitHub).
+
+The paper's evaluation uses three fixed datasets for its 88 EC2 data nodes
+plus coordinator.  We pin the canonical reproductions here: 96 nodes (88
+data + 8 spares) per dataset, generated from the preset gap with a fixed
+seed, and materialize them as CSVs on demand so downstream users can diff /
+version them exactly like the originals.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cluster.bandwidth import (
+    BandwidthDataset,
+    WLD_PRESETS,
+    load_bandwidth_csv,
+    make_wld,
+    save_bandwidth_csv,
+)
+
+#: Canonical node count: the paper's 88 data nodes + 8 repair spares.
+CANONICAL_NODES = 96
+
+#: Canonical generation seed (fixed so every checkout agrees bit-for-bit).
+CANONICAL_SEED = 20230515
+
+
+def canonical_wld(name: str) -> BandwidthDataset:
+    """The canonical dataset for a preset name ("WLD-2x" / "WLD-4x" / "WLD-8x")."""
+    if name not in WLD_PRESETS:
+        raise KeyError(f"unknown preset {name!r}; presets: {sorted(WLD_PRESETS)}")
+    return make_wld(CANONICAL_NODES, name, seed=CANONICAL_SEED)
+
+
+def materialize_datasets(directory: str | Path) -> dict[str, Path]:
+    """Write all three canonical datasets as CSVs; returns name -> path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out = {}
+    for name in sorted(WLD_PRESETS):
+        path = directory / f"{name.lower().replace('-', '_')}.csv"
+        save_bandwidth_csv(canonical_wld(name), path)
+        out[name] = path
+    return out
+
+
+def load_wld(name: str, directory: str | Path | None = None) -> BandwidthDataset:
+    """Load a canonical dataset, materializing the CSV if needed.
+
+    With ``directory`` the CSV is read from (and created in) that directory;
+    without it the dataset is generated in memory — both paths are
+    bit-identical by construction.
+    """
+    if directory is None:
+        return canonical_wld(name)
+    directory = Path(directory)
+    path = directory / f"{name.lower().replace('-', '_')}.csv"
+    if not path.exists():
+        materialize_datasets(directory)
+    return load_bandwidth_csv(path, name=name)

@@ -1,0 +1,73 @@
+"""Failure injection.
+
+Two failure processes from the paper:
+
+* targeted node/rack kills (driving the repair experiments), and
+* the §II-B *power outage* model: a whole-cluster power cycle after which a
+  fraction (0.5%-1%) of nodes never come back [Cidon et al., Copysets].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+
+
+@dataclass
+class PowerOutage:
+    """Correlated failure event: ``loss_fraction`` of all nodes die at once."""
+
+    loss_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.loss_fraction <= 1.0:
+            raise ValueError("loss fraction must be in (0, 1]")
+
+    def sample_dead_nodes(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """Node indices lost in the outage (at least one if fraction > 0)."""
+        n_dead = max(1, int(round(self.loss_fraction * n_nodes)))
+        return rng.choice(n_nodes, size=n_dead, replace=False)
+
+
+class FailureInjector:
+    """Stateful failure injector bound to a cluster."""
+
+    def __init__(self, cluster: Cluster, rng: np.random.Generator | int = 0):
+        self.cluster = cluster
+        self.rng = np.random.default_rng(rng) if isinstance(rng, int) else rng
+        self.killed: list[int] = []
+
+    def kill(self, node_ids) -> list[int]:
+        """Kill specific nodes; returns the ids actually transitioned."""
+        newly = []
+        for i in node_ids:
+            if self.cluster[i].alive:
+                self.cluster[i].fail()
+                newly.append(i)
+        self.killed.extend(newly)
+        return newly
+
+    def kill_random(self, count: int, exclude=()) -> list[int]:
+        """Kill ``count`` random alive nodes (outside ``exclude``)."""
+        pool = [i for i in self.cluster.alive_ids() if i not in set(exclude)]
+        if count > len(pool):
+            raise ValueError(f"cannot kill {count} of {len(pool)} candidates")
+        chosen = self.rng.choice(len(pool), size=count, replace=False)
+        return self.kill([pool[i] for i in chosen])
+
+    def kill_rack(self, rack: int) -> list[int]:
+        """Fail every node in a rack (whole-rack outage)."""
+        return self.kill(self.cluster.racks().get(rack, []))
+
+    def power_outage(self, outage: PowerOutage) -> list[int]:
+        """Apply the correlated power-outage loss model."""
+        ids = self.cluster.node_ids()
+        dead_idx = outage.sample_dead_nodes(len(ids), self.rng)
+        return self.kill([ids[i] for i in dead_idx])
+
+    def heal_all(self) -> None:
+        self.cluster.recover_all()
+        self.killed.clear()

@@ -1,0 +1,49 @@
+"""Node model: the unit of failure and of bandwidth contention.
+
+Bandwidths are in MB/s to match the paper's examples (Figure 2 gives each
+node's uplink/downlink in MB/s).  ``cross_uplink``/``cross_downlink`` cap the
+node's cross-rack traffic separately (the paper shapes these with ``tc`` in
+Experiment 4); ``None`` means no extra cross-rack cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    node_id: int
+    uplink: float
+    downlink: float
+    rack: int = 0
+    alive: bool = True
+    #: Extra caps applied only to cross-rack flows (None = uncapped).
+    cross_uplink: float | None = None
+    cross_downlink: float | None = None
+    #: Free-form labels ("data", "new", "coordinator").
+    tags: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.uplink <= 0 or self.downlink <= 0:
+            raise ValueError(f"node {self.node_id}: bandwidths must be positive")
+        for cap in (self.cross_uplink, self.cross_downlink):
+            if cap is not None and cap <= 0:
+                raise ValueError(f"node {self.node_id}: cross-rack caps must be positive")
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def effective_uplink(self, cross_rack: bool) -> float:
+        """Uplink capacity for a flow, given whether it crosses racks."""
+        if cross_rack and self.cross_uplink is not None:
+            return min(self.uplink, self.cross_uplink)
+        return self.uplink
+
+    def effective_downlink(self, cross_rack: bool) -> float:
+        if cross_rack and self.cross_downlink is not None:
+            return min(self.downlink, self.cross_downlink)
+        return self.downlink

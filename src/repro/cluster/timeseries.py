@@ -1,0 +1,80 @@
+"""Time-varying bandwidth traces (mean-reverting OU process).
+
+The paper's future work asks for "real-world network bandwidth workloads".
+Shared-tenancy link rates are well modeled as mean-reverting noise around a
+base rate; we generate Ornstein-Uhlenbeck sample paths per node and lower
+them onto the simulator's :class:`~repro.simnet.dynamic.BandwidthEvent`
+timeline, so any repair can be evaluated under realistic churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.simnet.dynamic import BandwidthEvent
+
+
+def ou_path(
+    base: float,
+    duration_s: float,
+    step_s: float,
+    sigma: float,
+    theta: float,
+    rng: np.random.Generator,
+    floor_fraction: float = 0.1,
+) -> np.ndarray:
+    """One OU sample path around ``base``: x' = theta (base - x) + sigma dW.
+
+    ``sigma`` is in the units of ``base`` per sqrt(second); the path is
+    floored at ``floor_fraction * base`` (links never drop to zero).
+    """
+    if duration_s <= 0 or step_s <= 0:
+        raise ValueError("duration and step must be positive")
+    n = int(np.ceil(duration_s / step_s)) + 1
+    x = np.empty(n)
+    x[0] = base
+    sq = np.sqrt(step_s)
+    noise = rng.normal(0.0, 1.0, size=n - 1)
+    for i in range(1, n):
+        drift = theta * (base - x[i - 1]) * step_s
+        x[i] = x[i - 1] + drift + sigma * sq * noise[i - 1]
+    return np.maximum(x, floor_fraction * base)
+
+
+def bandwidth_trace_events(
+    cluster: Cluster,
+    duration_s: float,
+    step_s: float = 1.0,
+    rel_sigma: float = 0.15,
+    theta: float = 0.5,
+    rng: np.random.Generator | int = 0,
+    nodes: list[int] | None = None,
+) -> list[BandwidthEvent]:
+    """OU bandwidth churn for (a subset of) the cluster as simulator events.
+
+    ``rel_sigma`` scales the volatility relative to each node's base rate.
+    Events are emitted at every step for every selected node; the simulator
+    merges them efficiently (one rate re-solve per step).
+    """
+    rng = np.random.default_rng(rng) if isinstance(rng, int) else rng
+    nodes = nodes if nodes is not None else cluster.alive_ids()
+    events: list[BandwidthEvent] = []
+    n_steps = int(np.ceil(duration_s / step_s))
+    for nid in nodes:
+        node = cluster[nid]
+        up = ou_path(node.uplink, duration_s, step_s, rel_sigma * node.uplink, theta, rng)
+        down = ou_path(
+            node.downlink, duration_s, step_s, rel_sigma * node.downlink, theta, rng
+        )
+        for i in range(1, n_steps + 1):
+            events.append(
+                BandwidthEvent(
+                    time=i * step_s,
+                    node=nid,
+                    uplink=float(up[i]),
+                    downlink=float(down[i]),
+                )
+            )
+    events.sort(key=lambda e: e.time)
+    return events

@@ -1,0 +1,147 @@
+"""Cluster topology: a set of nodes organized in racks.
+
+The cluster is deliberately simple — flat node list plus rack ids — because
+the paper's bandwidth model is purely end-host based (per-node uplink and
+downlink shares, §III-B1); rack structure only matters through the optional
+cross-rack caps and the rack-aware planners.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.cluster.node import Node
+
+
+class Cluster:
+    """A collection of :class:`Node` indexed by id."""
+
+    def __init__(self, nodes: Iterable[Node]):
+        self.nodes: dict[int, Node] = {}
+        #: optional shared per-rack trunk capacities: rack -> (up MB/s, down MB/s).
+        #: Complements the per-node cross caps: a trunk models an
+        #: oversubscribed top-of-rack uplink shared by the whole rack.
+        self.rack_trunks: dict[int, tuple[float, float]] = {}
+        for node in nodes:
+            if node.node_id in self.nodes:
+                raise ValueError(f"duplicate node id {node.node_id}")
+            self.nodes[node.node_id] = node
+
+    # -------------------------------------------------------------- #
+    # constructors
+    # -------------------------------------------------------------- #
+    @classmethod
+    def homogeneous(
+        cls,
+        n: int,
+        bandwidth: float,
+        rack_size: int | None = None,
+        cross_bandwidth: float | None = None,
+    ) -> "Cluster":
+        """n identical nodes; if ``rack_size`` is set, fill racks in order."""
+        nodes = []
+        for i in range(n):
+            rack = i // rack_size if rack_size else 0
+            nodes.append(
+                Node(
+                    i,
+                    uplink=bandwidth,
+                    downlink=bandwidth,
+                    rack=rack,
+                    cross_uplink=cross_bandwidth,
+                    cross_downlink=cross_bandwidth,
+                )
+            )
+        return cls(nodes)
+
+    @classmethod
+    def from_bandwidths(
+        cls,
+        uplinks: Sequence[float],
+        downlinks: Sequence[float] | None = None,
+        rack_size: int | None = None,
+        cross_bandwidth: float | None = None,
+    ) -> "Cluster":
+        """Build from explicit bandwidth vectors (downlinks default = uplinks)."""
+        if downlinks is None:
+            downlinks = uplinks
+        if len(uplinks) != len(downlinks):
+            raise ValueError("uplink/downlink vectors differ in length")
+        nodes = []
+        for i, (u, d) in enumerate(zip(uplinks, downlinks)):
+            rack = i // rack_size if rack_size else 0
+            nodes.append(
+                Node(
+                    i,
+                    uplink=float(u),
+                    downlink=float(d),
+                    rack=rack,
+                    cross_uplink=cross_bandwidth,
+                    cross_downlink=cross_bandwidth,
+                )
+            )
+        return cls(nodes)
+
+    # -------------------------------------------------------------- #
+    # lookups
+    # -------------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def __getitem__(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def node_ids(self) -> list[int]:
+        return sorted(self.nodes)
+
+    def alive_ids(self) -> list[int]:
+        return sorted(i for i, n in self.nodes.items() if n.alive)
+
+    def dead_ids(self) -> list[int]:
+        return sorted(i for i, n in self.nodes.items() if not n.alive)
+
+    def rack_of(self, node_id: int) -> int:
+        return self.nodes[node_id].rack
+
+    def racks(self) -> dict[int, list[int]]:
+        """rack id -> sorted node ids in that rack."""
+        out: dict[int, list[int]] = {}
+        for i in sorted(self.nodes):
+            out.setdefault(self.nodes[i].rack, []).append(i)
+        return out
+
+    def same_rack(self, a: int, b: int) -> bool:
+        return self.nodes[a].rack == self.nodes[b].rack
+
+    def rack_size(self, rack: int) -> int:
+        return sum(1 for n in self.nodes.values() if n.rack == rack)
+
+    def set_rack_trunk(self, rack: int, uplink: float, downlink: float | None = None) -> None:
+        """Cap the whole rack's aggregate cross-rack traffic (ToR trunk)."""
+        if uplink <= 0 or (downlink is not None and downlink <= 0):
+            raise ValueError("trunk capacities must be positive")
+        self.rack_trunks[rack] = (uplink, downlink if downlink is not None else uplink)
+
+    def set_all_rack_trunks(self, uplink: float, downlink: float | None = None) -> None:
+        """Apply the same trunk capacity to every rack."""
+        for rack in self.racks():
+            self.set_rack_trunk(rack, uplink, downlink)
+
+    # -------------------------------------------------------------- #
+    # mutation helpers
+    # -------------------------------------------------------------- #
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+
+    def fail_nodes(self, node_ids: Iterable[int]) -> None:
+        for i in node_ids:
+            self.nodes[i].fail()
+
+    def recover_all(self) -> None:
+        for n in self.nodes.values():
+            n.recover()

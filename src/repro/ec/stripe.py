@@ -1,0 +1,95 @@
+"""Stripe metadata: which block of which stripe lives on which node.
+
+A :class:`Stripe` is pure metadata (the coordinator's view); block payloads
+live in node block stores (:mod:`repro.system.blockstore`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def block_name(stripe_id: int, block_index: int) -> str:
+    """Canonical block identifier, e.g. ``"s0017/b03"``."""
+    return f"s{stripe_id:04d}/b{block_index:02d}"
+
+
+@dataclass
+class Stripe:
+    """Placement metadata for one erasure-coded stripe.
+
+    ``placement[i]`` is the node id storing block ``i`` (data blocks first,
+    then parity blocks, as in :class:`repro.ec.rs.RSCode`).
+    """
+
+    stripe_id: int
+    k: int
+    m: int
+    placement: list[int]
+
+    def __post_init__(self) -> None:
+        if len(self.placement) != self.k + self.m:
+            raise ValueError(
+                f"placement has {len(self.placement)} entries, need {self.k + self.m}"
+            )
+        if len(set(self.placement)) != len(self.placement):
+            raise ValueError("stripe blocks must be placed on distinct nodes")
+
+    @property
+    def n(self) -> int:
+        return self.k + self.m
+
+    @property
+    def width(self) -> int:
+        return self.n
+
+    def node_of(self, block_index: int) -> int:
+        return self.placement[block_index]
+
+    def block_on(self, node_id: int) -> int | None:
+        """Index of this stripe's block on ``node_id``, or None."""
+        try:
+            return self.placement.index(node_id)
+        except ValueError:
+            return None
+
+    def failed_blocks(self, dead_nodes) -> list[int]:
+        """Indices of blocks lost when ``dead_nodes`` fail."""
+        dead = set(dead_nodes)
+        return [i for i, nid in enumerate(self.placement) if nid in dead]
+
+    def surviving_blocks(self, dead_nodes) -> list[int]:
+        dead = set(dead_nodes)
+        return [i for i, nid in enumerate(self.placement) if nid not in dead]
+
+
+@dataclass
+class StripeLayout:
+    """A collection of stripes plus reverse indexes (node -> blocks)."""
+
+    stripes: list[Stripe] = field(default_factory=list)
+
+    def add(self, stripe: Stripe) -> None:
+        self.stripes.append(stripe)
+
+    def __len__(self) -> int:
+        return len(self.stripes)
+
+    def __iter__(self):
+        return iter(self.stripes)
+
+    def stripes_with_failures(self, dead_nodes) -> dict[int, list[int]]:
+        """Map stripe_id -> failed block indices, for stripes that lost data."""
+        out: dict[int, list[int]] = {}
+        for s in self.stripes:
+            failed = s.failed_blocks(dead_nodes)
+            if failed:
+                out[s.stripe_id] = failed
+        return out
+
+    def blocks_per_node(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for s in self.stripes:
+            for nid in s.placement:
+                counts[nid] = counts.get(nid, 0) + 1
+        return counts

@@ -1,0 +1,42 @@
+"""Experiment 2 (Figure 9): repair time versus the number of failed blocks f.
+
+Fixed (k, m) ∈ {(32, 8), (64, 16)} under WLD-2x, sweeping f.  The paper's
+observations: time grows quickly with f; CR loses to IR at both small f
+(IR barely bottlenecked) and large f (center congested); HMBR always wins.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import averaged_transfer_time, format_table
+
+DEFAULT_CASES = {(32, 8): [2, 4, 8], (64, 16): [4, 8, 16]}
+SCHEMES = ["cr", "ir", "hmbr"]
+
+
+def run(
+    cases: dict[tuple[int, int], list[int]] | None = None,
+    wld: str = "WLD-2x",
+    seeds: tuple[int, ...] = (2023, 2024, 2025),
+    block_size_mb: float = 64.0,
+) -> list[dict]:
+    cases = cases or DEFAULT_CASES
+    rows = []
+    for (k, m), fs in cases.items():
+        for f in fs:
+            row: dict = {"(k,m)": f"({k},{m})", "f": f}
+            for scheme in SCHEMES:
+                row[scheme] = averaged_transfer_time(
+                    k, m, f, scheme, wld, seeds=seeds, block_size_mb=block_size_mb
+                )
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Experiment 2 (Fig. 9) — repair transfer time [s] vs f under WLD-2x")
+    print(format_table(rows, floatfmt=".2f"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Experiment 3 (Figure 10): repair time versus block size.
+
+(k, m, f) ∈ {(64, 8, 8), (64, 16, 16)} under WLD-4x with block sizes from
+8 MB to 64 MB.  Expected shape: time scales ~linearly with block size and
+the CR/IR/HMBR gaps stay stable (transfer time is proportional to B in
+every term of the §III model).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import averaged_transfer_time, format_table
+
+DEFAULT_CASES = [(64, 8, 8), (64, 16, 16)]
+DEFAULT_SIZES = [8.0, 16.0, 32.0, 64.0]
+SCHEMES = ["cr", "ir", "hmbr"]
+
+
+def run(
+    cases: list[tuple[int, int, int]] | None = None,
+    sizes_mb: list[float] | None = None,
+    wld: str = "WLD-4x",
+    seeds: tuple[int, ...] = (2023, 2024, 2025),
+) -> list[dict]:
+    cases = cases or DEFAULT_CASES
+    sizes_mb = sizes_mb or DEFAULT_SIZES
+    rows = []
+    for k, m, f in cases:
+        for size in sizes_mb:
+            row: dict = {"(k,m,f)": f"({k},{m},{f})", "block_mb": size}
+            for scheme in SCHEMES:
+                row[scheme] = averaged_transfer_time(
+                    k, m, f, scheme, wld, seeds=seeds, block_size_mb=size
+                )
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Experiment 3 (Fig. 10) — repair transfer time [s] vs block size, WLD-4x")
+    print(format_table(rows, floatfmt=".2f"))
+
+
+if __name__ == "__main__":
+    main()

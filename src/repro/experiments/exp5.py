@@ -1,0 +1,100 @@
+"""Experiment 5 (Figure 12): multi-node repair with/without the scheduler.
+
+Multiple nodes fail at once, so many stripes need multi-block repairs
+concurrently.  The enhancement spreads CR centers across new nodes with
+LFS + LRS (§IV-C); the baseline lets every stripe greedily pick its
+fastest-downlink new node, piling load onto one center.  Paper: 10.9%
+average reduction, 15.9% max.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.bandwidth import make_wld
+from repro.cluster.node import Node
+from repro.cluster.placement import place_stripes_random
+from repro.cluster.topology import Cluster
+from repro.ec.rs import get_code
+from repro.experiments.common import format_table
+from repro.repair.multinode import plan_multi_node
+from repro.simnet.fluid import FluidSimulator
+
+#: (k, m, number of simultaneously failed nodes) — Fig 12 labels these (k, m, f).
+DEFAULT_CASES = [(16, 4, 4), (32, 8, 4), (64, 8, 8), (64, 16, 8)]
+
+
+def run_one(
+    k: int,
+    m: int,
+    n_dead: int,
+    n_data_nodes: int = 88,  # the paper's EC2 data-node count
+    n_stripes: int = 24,
+    wld: str = "WLD-4x",
+    seed: int = 2023,
+    block_size_mb: float = 64.0,
+) -> dict:
+    """One multi-node failure scenario, both scheduling modes."""
+    n_total = n_data_nodes + n_dead
+    ds = make_wld(n_total, wld, seed=seed)
+    cluster = Cluster(
+        [Node(i, float(ds.uplinks[i]), float(ds.downlinks[i])) for i in range(n_total)]
+    )
+    code = get_code(k, m)
+    layout = place_stripes_random(
+        cluster, n_stripes, k, m, rng=seed, candidates=list(range(n_data_nodes))
+    )
+    rng = np.random.default_rng(seed + 13)
+    dead = sorted(int(x) for x in rng.choice(n_data_nodes, size=n_dead, replace=False))
+    cluster.fail_nodes(dead)
+    replacement_of = {d: n_data_nodes + i for i, d in enumerate(dead)}
+    times = {}
+    spreads = {}
+    for enhanced in (False, True):
+        merged, jobs = plan_multi_node(
+            cluster, code, layout, dead, replacement_of,
+            block_size_mb=block_size_mb, scheme="hmbr", enhanced=enhanced,
+        )
+        res = FluidSimulator(cluster).run(merged.tasks)
+        key = "enhanced" if enhanced else "baseline"
+        times[key] = res.makespan
+        centers = [j.center for j in jobs]
+        spreads[key] = max(centers.count(c) for c in set(centers))
+    return {
+        "(k,m,f)": f"({k},{m},{n_dead})",
+        "stripes": len(jobs),
+        "baseline_s": times["baseline"],
+        "enhanced_s": times["enhanced"],
+        "reduction_%": 100.0 * (1 - times["enhanced"] / times["baseline"]),
+        "max_center_load_base": spreads["baseline"],
+        "max_center_load_enh": spreads["enhanced"],
+    }
+
+
+def run(
+    cases: list[tuple[int, int, int]] | None = None,
+    seeds: tuple[int, ...] = (2023, 2024, 2025),
+    **kwargs,
+) -> list[dict]:
+    cases = cases or DEFAULT_CASES
+    rows = []
+    for k, m, n_dead in cases:
+        per_seed = [run_one(k, m, n_dead, seed=s, **kwargs) for s in seeds]
+        row = dict(per_seed[0])
+        for key in ("baseline_s", "enhanced_s", "reduction_%"):
+            row[key] = float(np.mean([r[key] for r in per_seed]))
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Experiment 5 (Fig. 12) — multi-node repair time [s], HMBR ± LFS+LRS scheduling")
+    print(format_table(rows, floatfmt=".2f"))
+    reds = [r["reduction_%"] for r in rows]
+    print(f"\nmean reduction: {np.mean(reds):.1f}%  max: {max(reds):.1f}%")
+    print("paper: 10.9% on average, up to 15.9%")
+
+
+if __name__ == "__main__":
+    main()

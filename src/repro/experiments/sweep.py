@@ -1,0 +1,79 @@
+"""Generic parameter-sweep driver and tabular export helpers.
+
+Every experiment harness returns ``list[dict]`` rows; these utilities build
+cartesian sweeps over any row-producing function and export results as CSV
+or markdown, so ad-hoc studies ("how does the HMBR gain move with the rack
+size and the cross-rack factor?") are one-liners.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from collections.abc import Callable
+from pathlib import Path
+
+
+def cartesian_sweep(
+    fn: Callable[..., dict | list[dict]],
+    grid: dict[str, list],
+    fixed: dict | None = None,
+) -> list[dict]:
+    """Call ``fn(**point, **fixed)`` for every point of the parameter grid.
+
+    The swept parameter values are merged into each returned row, so the
+    output is self-describing.  ``fn`` may return one row or a list of rows.
+    """
+    if not grid:
+        raise ValueError("empty parameter grid")
+    fixed = fixed or {}
+    overlap = set(grid) & set(fixed)
+    if overlap:
+        raise ValueError(f"parameters both swept and fixed: {sorted(overlap)}")
+    keys = sorted(grid)
+    rows: list[dict] = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        point = dict(zip(keys, values))
+        out = fn(**point, **fixed)
+        out_rows = out if isinstance(out, list) else [out]
+        for row in out_rows:
+            rows.append({**point, **row})
+    return rows
+
+
+def rows_to_csv(rows: list[dict], path: str | Path) -> Path:
+    """Write rows to CSV (union of keys, insertion-ordered)."""
+    path = Path(path)
+    if not rows:
+        raise ValueError("no rows to write")
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def rows_to_markdown(rows: list[dict], floatfmt: str = ".3f") -> str:
+    """Rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(v):
+        return f"{v:{floatfmt}}" if isinstance(v, float) else str(v)
+
+    lines = ["| " + " | ".join(columns) + " |", "|" + "---|" * len(columns)]
+    lines += [
+        "| " + " | ".join(cell(r.get(c, "")) for c in columns) + " |" for r in rows
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Table I: multi-block failure ratio R versus (k, m) and cluster size N."""
+
+from __future__ import annotations
+
+from repro.analysis.failure_sim import TABLE1_CODES, TABLE1_NODES, table1_grid
+from repro.experiments.common import format_table
+
+#: The paper's reported Table I values (percent), for side-by-side output.
+PAPER_TABLE1 = {
+    (6, 3): {500: 3.24, 1000: 3.57, 2500: 3.81, 5000: 3.92},
+    (9, 3): {500: 4.46, 1000: 4.94, 2500: 5.20, 5000: 5.30},
+    (12, 4): {500: 5.89, 1000: 6.80, 2500: 7.12, 5000: 7.21},
+    (64, 8): {500: 28.16, 1000: 30.13, 2500: 30.80, 5000: 31.23},
+    (64, 16): {500: 31.75, 1000: 32.93, 2500: 34.00, 5000: 34.36},
+    (64, 24): {500: 34.15, 1000: 36.15, 2500: 36.86, 5000: 37.21},
+}
+
+
+def run(method: str = "exact", loss_fraction: float = 0.01, **kwargs) -> list[dict]:
+    """One row per (k, m): measured R (%) per N, plus the paper's values."""
+    grid = table1_grid(method=method, loss_fraction=loss_fraction, **kwargs)
+    rows = []
+    for (k, m), by_n in grid.items():
+        row: dict = {"(k,m)": f"({k},{m})"}
+        for n in TABLE1_NODES:
+            row[f"R(N={n})%"] = 100.0 * by_n[n]
+            paper = PAPER_TABLE1.get((k, m), {}).get(n)
+            if paper is not None:
+                row[f"paper(N={n})%"] = paper
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    cols = ["(k,m)"] + [f"R(N={n})%" for n in TABLE1_NODES] + [
+        f"paper(N={n})%" for n in TABLE1_NODES
+    ]
+    print("Table I — multi-block failure ratio after a 1% power-outage loss")
+    print(format_table(rows, cols, floatfmt=".2f"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Galois-field arithmetic substrate.
+
+This subpackage replaces Intel ISA-L from the paper's prototype: it provides
+bit-exact GF(2^w) arithmetic (w = 8 or 16) with NumPy-vectorized kernels, and
+dense matrix algebra over the field (multiplication, Gauss-Jordan inversion)
+used to build Reed-Solomon generator and repair matrices.
+"""
+
+from repro.gf.field import GF, GF8, GF16, gf8
+from repro.gf.matrix import (
+    gf_matmul,
+    gf_matvec,
+    gf_inv,
+    gf_rank,
+    gf_solve,
+    gf_identity,
+)
+
+__all__ = [
+    "GF",
+    "GF8",
+    "GF16",
+    "gf8",
+    "gf_matmul",
+    "gf_matvec",
+    "gf_inv",
+    "gf_rank",
+    "gf_solve",
+    "gf_identity",
+]

@@ -1,0 +1,85 @@
+"""Construction of GF(2^w) discrete-log tables.
+
+The field GF(2^w) is realized as polynomials over GF(2) modulo a primitive
+polynomial, with the monomial ``x`` (integer 2) as the generator of the
+multiplicative group.  We precompute:
+
+* ``exp`` — ``exp[i] = x^i`` for ``0 <= i < 2*(2^w - 1)`` (doubled so that
+  ``exp[log[a] + log[b]]`` needs no modular reduction),
+* ``log`` — inverse map, ``log[exp[i]] = i`` with ``log[0]`` unused.
+
+Only standard primitive polynomials are used (the same ones as ISA-L and
+jerasure), so encodings are interoperable with common EC implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Primitive polynomials (including the x^w term) per word size.
+PRIMITIVE_POLY = {
+    4: 0x13,  # x^4 + x + 1
+    8: 0x11D,  # x^8 + x^4 + x^3 + x^2 + 1
+    16: 0x1100B,  # x^16 + x^12 + x^3 + x + 1
+}
+
+_SUPPORTED_W = tuple(sorted(PRIMITIVE_POLY))
+
+
+def build_log_exp(w: int) -> tuple[np.ndarray, np.ndarray]:
+    """Build (log, exp) tables for GF(2^w).
+
+    Returns
+    -------
+    log : uint32 array of size 2^w; ``log[0]`` is set to 0 but is invalid.
+    exp : dtype-sized array of length ``2*(2^w - 1)`` so sums of two logs
+        index without reduction.
+    """
+    if w not in PRIMITIVE_POLY:
+        raise ValueError(f"unsupported word size w={w}; supported: {_SUPPORTED_W}")
+    order = (1 << w) - 1
+    poly = PRIMITIVE_POLY[w]
+    dtype = np.uint8 if w <= 8 else np.uint16 if w <= 16 else np.uint32
+
+    exp = np.zeros(2 * order, dtype=dtype)
+    log = np.zeros(1 << w, dtype=np.uint32)
+    x = 1
+    for i in range(order):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & (1 << w):
+            x ^= poly
+    if x != 1:
+        raise AssertionError(f"polynomial 0x{poly:x} is not primitive for w={w}")
+    exp[order : 2 * order] = exp[:order]
+    return log, exp
+
+
+def build_mul_table(w: int) -> np.ndarray:
+    """Build the full (2^w x 2^w) multiplication table.
+
+    Only sensible for w <= 8 (64 KiB); used for fast pairwise multiplication
+    via fancy indexing.
+    """
+    if w > 8:
+        raise ValueError("full multiplication table only built for w <= 8")
+    log, exp = build_log_exp(w)
+    n = 1 << w
+    a = np.arange(n, dtype=np.uint32)
+    # table[i, j] = exp[log[i] + log[j]], zero row/col forced to 0.
+    table = exp[(log[a][:, None] + log[a][None, :])].astype(np.uint8)
+    table[0, :] = 0
+    table[:, 0] = 0
+    return table
+
+
+def build_inv_table(w: int) -> np.ndarray:
+    """Build the multiplicative-inverse table (index 0 maps to 0, invalid)."""
+    log, exp = build_log_exp(w)
+    order = (1 << w) - 1
+    dtype = np.uint8 if w <= 8 else np.uint16
+    inv = np.zeros(1 << w, dtype=dtype)
+    nz = np.arange(1, 1 << w, dtype=np.uint32)
+    inv[nz] = exp[(order - log[nz]) % order]
+    return inv

@@ -1,0 +1,166 @@
+"""Multi-node repair (§IV-C): scheduling multi-block repairs across stripes.
+
+When whole nodes fail, many stripes need multi-block repair at once.  Each
+stripe's CR part needs a center; naive center selection piles multiple
+stripes onto the same well-provisioned new node.  HMBR's enhancement picks
+centers with **LFS + LRS**: among the new-node candidates with the *least
+frequently selected* count, pick the *least recently selected* one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import Cluster
+from repro.ec.rs import RSCode
+from repro.ec.stripe import StripeLayout
+from repro.repair.context import RepairContext
+from repro.repair.hybrid import plan_hybrid
+from repro.repair.centralized import plan_centralized
+from repro.repair.independent import plan_independent
+from repro.repair.plan import RepairPlan, merge_plans
+
+
+class CenterScheduler:
+    """LFS + LRS new-node selection (the paper's §IV-C array + priority queue).
+
+    ``counts`` is the frequency array; a heap keyed by (last-selected
+    timestamp, node id) supplies the least-recently-selected tie-break.
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.last_selected: dict[int, int] = {}
+        self._clock = 0
+
+    def pick(self, candidates: list[int]) -> int:
+        if not candidates:
+            raise ValueError("no center candidates")
+        # LFS first
+        min_count = min(self.counts.get(c, 0) for c in candidates)
+        lfs = [c for c in candidates if self.counts.get(c, 0) == min_count]
+        # LRS among ties (never-selected nodes are the "oldest")
+        heap = [(self.last_selected.get(c, -1), c) for c in lfs]
+        heapq.heapify(heap)
+        _, chosen = heap[0]
+        self._clock += 1
+        self.counts[chosen] = self.counts.get(chosen, 0) + 1
+        self.last_selected[chosen] = self._clock
+        return chosen
+
+    def load_of(self, node: int) -> int:
+        return self.counts.get(node, 0)
+
+
+@dataclass
+class MultiNodeRepairJob:
+    """One stripe's share of a multi-node repair."""
+
+    stripe_id: int
+    failed_blocks: list[int]
+    new_nodes: list[int]
+    center: int
+    plan: RepairPlan = field(repr=False, default=None)
+
+
+def plan_multi_node(
+    cluster: Cluster,
+    code: RSCode,
+    layout: StripeLayout,
+    dead_nodes: list[int],
+    replacement_of: dict[int, int],
+    block_size_mb: float = 64.0,
+    scheme: str = "hmbr",
+    enhanced: bool = True,
+    survivor_policy: str = "first",
+    split: str = "global-search",
+) -> tuple[RepairPlan, list[MultiNodeRepairJob]]:
+    """Plan the repair of every stripe hit by ``dead_nodes``.
+
+    ``replacement_of`` maps each dead node to the fresh node that re-hosts
+    its blocks.  With ``enhanced=True`` centers are spread via LFS+LRS; the
+    baseline always lets each stripe pick its fastest-downlink new node
+    (which concentrates stripes on the same center and congests it).
+
+    For ``scheme="hmbr"``, ``split`` controls the CR/IR ratio:
+
+    * ``"global-search"`` (default) — one common p chosen by simulating the
+      *merged* task graph of every stripe.  Per-stripe isolated splits are
+      badly miscalibrated during multi-node repair because they ignore the
+      other stripes contending for the same survivor uplinks.
+    * ``"per-stripe"`` — each stripe searches its own p in isolation (shown
+      as an ablation; loses to global-search under heavy overlap).
+
+    Returns the merged plan (all stripes repaired in parallel) and the
+    per-stripe jobs.
+    """
+    dead = set(dead_nodes)
+    missing = dead - set(replacement_of)
+    if missing:
+        raise ValueError(f"no replacement for dead nodes {sorted(missing)}")
+    scheduler = CenterScheduler()
+    work: list[tuple[RepairContext, int]] = []
+    for stripe in layout:
+        failed = stripe.failed_blocks(dead)
+        if not failed:
+            continue
+        if len(failed) > code.m:
+            raise ValueError(f"stripe {stripe.stripe_id} lost {len(failed)} > m blocks")
+        new_nodes = [replacement_of[stripe.placement[b]] for b in failed]
+        ctx = RepairContext(
+            cluster=cluster,
+            code=code,
+            stripe=stripe,
+            failed_blocks=failed,
+            new_nodes=new_nodes,
+            block_size_mb=block_size_mb,
+            survivor_policy=survivor_policy,
+        )
+        center = scheduler.pick(new_nodes) if enhanced else ctx.pick_center("fastest-downlink")
+        work.append((ctx, center))
+    if not work:
+        raise ValueError("no stripe was affected by the given dead nodes")
+
+    common_p: float | None = None
+    if scheme == "hmbr" and split == "global-search":
+        from repro.repair._build import add_centralized, add_independent
+        from repro.repair.split import scaled_split_tasks, search_split
+        from repro.repair.topology import build_chain_paths
+
+        cr_all, ir_all = [], []
+        for ctx, center in work:
+            cr_t, _, _ = add_centralized(ctx, ctx.prefix("h.cr"), 0.0, 1.0, center)
+            ir_t, _, _ = add_independent(
+                ctx, ctx.prefix("h.ir"), 0.0, 1.0, build_chain_paths(ctx)
+            )
+            cr_all.extend(cr_t)
+            ir_all.extend(ir_t)
+        common_p, _ = search_split(
+            lambda q: scaled_split_tasks(cr_all, ir_all, q), cluster
+        )
+
+    plans: list[RepairPlan] = []
+    jobs: list[MultiNodeRepairJob] = []
+    for ctx, center in work:
+        if scheme == "hmbr":
+            plan = plan_hybrid(ctx, center=center, p=common_p)
+        elif scheme == "cr":
+            plan = plan_centralized(ctx, center=center)
+        elif scheme == "ir":
+            plan = plan_independent(ctx)
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        plans.append(plan)
+        jobs.append(
+            MultiNodeRepairJob(
+                stripe_id=ctx.stripe.stripe_id,
+                failed_blocks=ctx.failed_blocks,
+                new_nodes=ctx.new_nodes,
+                center=center,
+                plan=plan,
+            )
+        )
+    merged = merge_plans(plans, scheme=f"multi-node/{scheme}{'+sched' if enhanced else ''}")
+    merged.meta["common_p"] = common_p
+    return merged, jobs

@@ -1,0 +1,151 @@
+"""Single-block repair schemes: the baselines IR builds on (§II-D, §VI).
+
+Wide-stripe papers optimize the single-block case first; HMBR's IR module is
+"pipelined single-block repair, run f times".  This module provides the three
+classic single-block schemes as standalone planners over the same plan IR:
+
+* **star** — conventional repair: k survivors send to the new node, which
+  decodes (the f = 1 special case of CR).
+* **chain (RP [16])** — repair pipelining: survivors form a chain, each hop
+  forwards the GF-accumulated partial in slices; time ~ B / min-link
+  regardless of k.
+* **ppr (PPR [8])** — partial-parallel repair: survivors pair up over
+  ceil(log2(k+1)) rounds, halving the active senders each round; each round
+  moves B bytes per pair in parallel.
+
+All three produce executable + simulatable plans and are compared in the
+benchmarks (the chain's k-independence is the reason wide stripes remain
+repairable at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec.stripe import block_name
+from repro.repair._build import repaired_name
+from repro.repair.context import RepairContext
+from repro.repair.plan import CombineOp, Op, RepairPlan, SliceOp, TransferOp
+from repro.simnet.flows import Flow, PipelineFlow, Task
+
+
+def _single_failure(ctx: RepairContext) -> int:
+    if ctx.f != 1:
+        raise ValueError(f"single-block planners need f = 1, got f = {ctx.f}")
+    return ctx.failed_blocks[0]
+
+
+def plan_star(ctx: RepairContext) -> RepairPlan:
+    """Conventional single-block repair: everyone sends to the new node."""
+    fb = _single_failure(ctx)
+    new_node = ctx.new_node_of(fb)
+    survivors = ctx.chosen_survivors()
+    rmat = np.asarray(ctx.repair_matrix())[0]
+    sid = ctx.stripe.stripe_id
+    prefix = ctx.prefix("star")
+
+    tasks: list[Task] = []
+    ops: list[Op] = []
+    names = []
+    for b in survivors:
+        node = ctx.stripe.placement[b]
+        name = f"{prefix}/in/b{b:02d}"
+        ops.append(SliceOp(node, name, block_name(sid, b), 0.0, 1.0))
+        ops.append(TransferOp(node, new_node, name))
+        tasks.append(Flow(f"{prefix}:fetch:b{b:02d}", node, new_node, ctx.block_size_mb))
+        names.append(name)
+    out = repaired_name(prefix, fb)
+    ops.append(CombineOp(new_node, out, tuple(int(c) for c in rmat), tuple(names)))
+    return RepairPlan("StarSingle", tasks, ops, {fb: (new_node, out)}, {"new_node": new_node})
+
+
+def plan_chain(ctx: RepairContext, chain_order: str = "index") -> RepairPlan:
+    """Repair pipelining (RP): one chain through the survivors."""
+    from repro.repair._build import add_independent
+    from repro.repair.topology import build_chain_paths
+
+    _single_failure(ctx)
+    paths = build_chain_paths(ctx, chain_order)
+    tasks, ops, outputs = add_independent(ctx, ctx.prefix("rp"), 0.0, 1.0, paths)
+    return RepairPlan("ChainSingle", tasks, ops, outputs, {"chain_order": chain_order})
+
+
+def plan_ppr(ctx: RepairContext) -> RepairPlan:
+    """Partial-parallel repair (PPR): log2 rounds of pairwise aggregation.
+
+    Round r: active holders pair up; the sender of each pair transfers its
+    partial to the receiver, which XOR-aggregates.  After ceil(log2(k+1))
+    rounds one node holds the full sum and forwards it to the new node (if
+    it is not already there).  Wall-clock ~ (log2 k) * B / bw instead of the
+    star's k * B / bw at the choke point.
+    """
+    fb = _single_failure(ctx)
+    new_node = ctx.new_node_of(fb)
+    survivors = ctx.chosen_survivors()
+    rmat = np.asarray(ctx.repair_matrix())[0]
+    sid = ctx.stripe.stripe_id
+    prefix = ctx.prefix("ppr")
+
+    tasks: list[Task] = []
+    ops: list[Op] = []
+
+    # each survivor starts with its scaled block as the local partial
+    partial_of: dict[int, str] = {}
+    for col, b in enumerate(survivors):
+        node = ctx.stripe.placement[b]
+        in_name = f"{prefix}/in/b{b:02d}"
+        ops.append(SliceOp(node, in_name, block_name(sid, b), 0.0, 1.0))
+        pname = f"{prefix}/p/{node}/r0"
+        ops.append(CombineOp(node, pname, (int(rmat[col]),), (in_name,)))
+        partial_of[node] = pname
+
+    holders = [ctx.stripe.placement[b] for b in survivors]
+    last_round_task: dict[int, str] = {}
+    rnd = 0
+    while len(holders) > 1:
+        rnd += 1
+        nxt: list[int] = []
+        for i in range(0, len(holders) - 1, 2):
+            sender, receiver = holders[i + 1], holders[i]
+            up_name = f"{prefix}/up/{sender}/r{rnd}"
+            ops.append(TransferOp(sender, receiver, partial_of[sender], rename=up_name))
+            merged = f"{prefix}/p/{receiver}/r{rnd}"
+            ops.append(
+                CombineOp(receiver, merged, (1, 1), (partial_of[receiver], up_name))
+            )
+            partial_of[receiver] = merged
+            deps = tuple(
+                d
+                for d in (last_round_task.get(sender), last_round_task.get(receiver))
+                if d
+            )
+            tid = f"{prefix}:r{rnd}:{sender}->{receiver}"
+            tasks.append(Flow(tid, sender, receiver, ctx.block_size_mb, deps=deps))
+            last_round_task[receiver] = tid
+            nxt.append(receiver)
+        if len(holders) % 2:
+            nxt.append(holders[-1])
+        holders = nxt
+
+    root = holders[0]
+    out = repaired_name(prefix, fb)
+    if root != new_node:
+        ops.append(TransferOp(root, new_node, partial_of[root], rename=out))
+        deps = tuple(d for d in (last_round_task.get(root),) if d)
+        tasks.append(Flow(f"{prefix}:final", root, new_node, ctx.block_size_mb, deps=deps))
+    else:  # pragma: no cover - root is a survivor, never the new node
+        ops.append(CombineOp(new_node, out, (1,), (partial_of[root],)))
+    return RepairPlan(
+        "PPRSingle",
+        tasks,
+        ops,
+        {fb: (new_node, out)},
+        {"rounds": rnd + 1, "new_node": new_node},
+    )
+
+
+SINGLE_BLOCK_SCHEMES = {
+    "star": plan_star,
+    "chain": plan_chain,
+    "ppr": plan_ppr,
+}

@@ -1,0 +1,80 @@
+"""Split-ratio optimization policies for HMBR.
+
+Three ways to choose the CR/IR split ratio p, strongest last:
+
+* ``theorem1`` — the paper's closed form (§III, Theorem 1), assuming the two
+  sub-repairs never share a link.
+* ``volume``  — per-node volume equalization (the §II-E example arithmetic),
+  accounting for shared links but assuming an ideal schedule.
+* ``search``  — evaluate the *actual* planned task graph in the fluid
+  simulator over a grid of p and refine around the best point.  The
+  coordinator has the full bandwidth table (§IV assumption), so this is
+  implementable in a real system; at p = 0 / p = 1 the plan degenerates to
+  pure IR / CR, so searched HMBR never loses to either under the
+  simulator's fair-sharing semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+import dataclasses
+
+from repro.cluster.topology import Cluster
+from repro.simnet.flows import DelayTask, Task
+from repro.simnet.fluid import FluidSimulator
+
+
+def scaled_split_tasks(
+    cr_full: list[Task], ir_full: list[Task], p: float
+) -> list[Task]:
+    """Tasks for split ``p`` from full-block reference sub-plans.
+
+    Transfer sizes are linear in the sub-block fraction, so the CR sub-plan
+    built for the whole block scales by ``p`` and the IR one by ``1 - p`` —
+    no need to re-plan per candidate p during the search.
+    """
+    out: list[Task] = []
+    for t in cr_full:
+        out.append(t if isinstance(t, DelayTask) else dataclasses.replace(t, size_mb=t.size_mb * p))
+    for t in ir_full:
+        out.append(t if isinstance(t, DelayTask) else dataclasses.replace(t, size_mb=t.size_mb * (1.0 - p)))
+    return out
+
+
+def search_split(
+    build_tasks: Callable[[float], list[Task]],
+    cluster: Cluster,
+    coarse_points: int = 9,
+    refine_rounds: int = 2,
+    refine_points: int = 5,
+    events=(),
+) -> tuple[float, float]:
+    """Grid-and-refine minimization of simulated makespan over p in [0, 1].
+
+    Returns ``(best_p, best_makespan)``.  T(p) is piecewise smooth but not
+    guaranteed convex under fair sharing, hence grid search instead of
+    golden section; total simulations = coarse + rounds * refine.
+    """
+    sim = FluidSimulator(cluster)
+
+    def t_of(p: float) -> float:
+        return sim.run(build_tasks(p), events=events).makespan
+
+    ps = list(np.linspace(0.0, 1.0, coarse_points))
+    ts = [t_of(p) for p in ps]
+    best_i = int(np.argmin(ts))
+    best_p, best_t = ps[best_i], ts[best_i]
+    lo = ps[max(0, best_i - 1)]
+    hi = ps[min(len(ps) - 1, best_i + 1)]
+    for _ in range(refine_rounds):
+        grid = list(np.linspace(lo, hi, refine_points + 2))[1:-1]
+        for p in grid:
+            t = t_of(p)
+            if t < best_t:
+                best_p, best_t = p, t
+        span = (hi - lo) / 4
+        lo, hi = max(0.0, best_p - span), min(1.0, best_p + span)
+    return float(best_p), float(best_t)

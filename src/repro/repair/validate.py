@@ -1,0 +1,141 @@
+"""Static validation of repair plans.
+
+A plan is executed twice — by the fluid simulator (timing view) and by the
+executor/agents (data view) — so inconsistencies between the two views are a
+dangerous class of bug.  This module checks a plan *without running it*:
+
+* task ids unique, dependencies resolvable and acyclic;
+* every op reads buffers that an earlier op (or the initial stripe layout)
+  produced **on the same node**;
+* every declared output is actually produced at its declared node;
+* the data view's transfer volume matches the timing view's within the
+  sub-block rounding tolerance.
+
+The coordinator calls :func:`validate_plan` before dispatching agent
+commands; tests fuzz planners against it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ec.stripe import block_name
+from repro.repair.context import RepairContext
+from repro.repair.plan import CombineOp, ConcatOp, RepairPlan, SliceOp, TransferOp
+from repro.simnet.flows import DelayTask, validate_tasks
+
+
+class PlanValidationError(ValueError):
+    """A repair plan failed static validation."""
+
+
+def _check_task_graph_acyclic(plan: RepairPlan) -> None:
+    by_id = validate_tasks(plan.tasks)
+    state: dict[str, int] = {}
+
+    def visit(tid: str, stack: tuple[str, ...]) -> None:
+        if state.get(tid) == 2:
+            return
+        if state.get(tid) == 1:
+            raise PlanValidationError(f"dependency cycle through {tid!r}: {stack}")
+        state[tid] = 1
+        for dep in by_id[tid].deps:
+            visit(dep, stack + (tid,))
+        state[tid] = 2
+
+    for tid in by_id:
+        visit(tid, ())
+
+
+def _initial_buffers(ctx: RepairContext) -> set[tuple[int, str]]:
+    """Buffers present before the plan runs: every surviving block."""
+    out = set()
+    failed = set(ctx.failed_blocks)
+    for idx, node in enumerate(ctx.stripe.placement):
+        if idx in failed or not ctx.cluster[node].alive:
+            continue
+        out.add((node, block_name(ctx.stripe.stripe_id, idx)))
+    return out
+
+
+def validate_plan(plan: RepairPlan, ctx: RepairContext | None = None) -> None:
+    """Raise :class:`PlanValidationError` on any structural inconsistency.
+
+    With ``ctx`` the data-flow check starts from the surviving blocks;
+    without it only the task graph and intra-plan dataflow ordering are
+    checked (initial buffers are inferred from SliceOp sources).
+    """
+    _check_task_graph_acyclic(plan)
+
+    if ctx is not None:
+        available = _initial_buffers(ctx)
+    else:
+        available = set()
+        for op in plan.ops:
+            if isinstance(op, SliceOp):
+                available.add((op.node, op.src))
+
+    def need(node: int, name: str, op) -> None:
+        if (node, name) not in available:
+            raise PlanValidationError(
+                f"op {op!r} reads buffer {name!r} not present on node {node}"
+            )
+
+    for op in plan.ops:
+        if isinstance(op, SliceOp):
+            need(op.node, op.src, op)
+            available.add((op.node, op.out))
+        elif isinstance(op, TransferOp):
+            need(op.src_node, op.name, op)
+            available.add((op.dst_node, op.rename or op.name))
+        elif isinstance(op, CombineOp):
+            for src in op.srcs:
+                need(op.node, src, op)
+            available.add((op.node, op.out))
+        elif isinstance(op, ConcatOp):
+            for part in op.parts:
+                need(op.node, part, op)
+            available.add((op.node, op.out))
+        else:
+            raise PlanValidationError(f"unknown op type {type(op).__name__}")
+
+    for fb, (node, name) in plan.outputs.items():
+        if (node, name) not in available:
+            raise PlanValidationError(
+                f"declared output for block {fb} ({name!r} on node {node}) is never produced"
+            )
+
+    if ctx is not None:
+        _check_views_consistent(plan, ctx)
+
+
+def _check_views_consistent(plan: RepairPlan, ctx: RepairContext) -> None:
+    """Timing-view traffic must match data-view traffic per directed link.
+
+    Data-view volume is counted in block fractions (a TransferOp moves one
+    sub-block whose size the executor resolves at run time), so the match is
+    structural: the multiset of directed links used must be identical, and
+    the per-link task sizes must sum to the per-link transfer count times
+    the sub-block sizes recorded in the plan's fractions.
+    """
+    timing_links: dict[tuple[int, int], float] = defaultdict(float)
+    for t in plan.tasks:
+        if isinstance(t, DelayTask):
+            continue
+        for hop in t.hops:
+            timing_links[hop] += t.size_mb
+
+    data_links: set[tuple[int, int]] = set()
+    for op in plan.ops:
+        if isinstance(op, TransferOp):
+            data_links.add((op.src_node, op.dst_node))
+
+    # zero-size tasks (degenerate split p = 0 or 1) still "time" their link:
+    # the matching TransferOps move empty sub-blocks
+    timing_set = set(timing_links)
+    missing = data_links - timing_set
+    extra = timing_set - data_links
+    if missing:
+        raise PlanValidationError(f"data view moves bytes over untimed links: {sorted(missing)}")
+    if extra:
+        raise PlanValidationError(f"timing view charges links the data never uses: {sorted(extra)}")

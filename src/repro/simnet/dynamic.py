@@ -1,0 +1,67 @@
+"""Dynamic bandwidth workloads (the paper's §VII future work).
+
+A :class:`BandwidthEvent` changes a node's link rates at a point in
+simulated time; the fluid simulator re-solves the max-min allocation at each
+event boundary, so long transfers correctly straddle rate changes.  Event
+schedules also feed HMBR's search split, yielding a *dynamics-aware* hybrid
+that picks the ratio minimizing makespan under the predicted bandwidth
+trajectory rather than the instantaneous snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BandwidthEvent:
+    """At ``time``, set the given link rates of ``node`` (None = unchanged)."""
+
+    time: float
+    node: int
+    uplink: float | None = None
+    downlink: float | None = None
+    cross_uplink: float | None = None
+    cross_downlink: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+        for value in (self.uplink, self.downlink, self.cross_uplink, self.cross_downlink):
+            if value is not None and value <= 0:
+                raise ValueError("bandwidths must stay positive")
+
+    def capacity_updates(self) -> dict[str, float]:
+        """Resource-key -> new capacity map for the simulator."""
+        out: dict[str, float] = {}
+        if self.uplink is not None:
+            out[f"up:{self.node}"] = self.uplink
+        if self.downlink is not None:
+            out[f"down:{self.node}"] = self.downlink
+        if self.cross_uplink is not None:
+            out[f"xup:{self.node}"] = self.cross_uplink
+        if self.cross_downlink is not None:
+            out[f"xdown:{self.node}"] = self.cross_downlink
+        return out
+
+
+def degrade_nodes(
+    nodes: list[int], at_time: float, factor: float, cluster
+) -> list[BandwidthEvent]:
+    """Convenience: divide the listed nodes' link rates by ``factor``."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    events = []
+    for n in nodes:
+        node = cluster[n]
+        events.append(
+            BandwidthEvent(
+                time=at_time,
+                node=n,
+                uplink=node.uplink / factor,
+                downlink=node.downlink / factor,
+                cross_uplink=None if node.cross_uplink is None else node.cross_uplink / factor,
+                cross_downlink=None if node.cross_downlink is None else node.cross_downlink / factor,
+            )
+        )
+    return events

@@ -1,0 +1,84 @@
+"""Plan/simulation visualization: ASCII Gantt charts and JSON export.
+
+Terminal-friendly observability for repair plans: which task ran when, at
+what mean rate, on which link.  ``to_json`` round-trips the full result for
+external tooling (the paper's figures are essentially these timelines).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.simnet.flows import DelayTask, Task
+from repro.simnet.fluid import SimulationResult
+
+
+def ascii_gantt(
+    result: SimulationResult,
+    tasks: list[Task],
+    width: int = 60,
+    max_rows: int = 40,
+) -> str:
+    """Render task start/finish spans as a fixed-width Gantt chart."""
+    if not tasks:
+        return "(no tasks)"
+    span = result.makespan or 1.0
+    by_start = sorted(tasks, key=lambda t: (result.start_times[t.task_id], t.task_id))
+    label_w = min(max(len(t.task_id) for t in tasks), 36)
+    lines = [f"{'task'.ljust(label_w)} | 0{' ' * (width - 10)}{span:8.2f}s"]
+    lines.append("-" * (label_w + 3 + width))
+    shown = by_start[:max_rows]
+    for t in shown:
+        t0 = result.start_times[t.task_id]
+        t1 = result.finish_times[t.task_id]
+        a = int(round(width * t0 / span))
+        b = max(int(round(width * t1 / span)), a + 1)
+        bar = " " * a + "#" * (b - a) + " " * (width - b)
+        label = t.task_id[:label_w].ljust(label_w)
+        lines.append(f"{label} | {bar}")
+    if len(by_start) > max_rows:
+        lines.append(f"... ({len(by_start) - max_rows} more tasks)")
+    return "\n".join(lines)
+
+
+def task_summary_rows(result: SimulationResult, tasks: list[Task]) -> list[dict]:
+    """One row per task: span, size, mean rate, hops."""
+    rows = []
+    for t in tasks:
+        t0 = result.start_times[t.task_id]
+        t1 = result.finish_times[t.task_id]
+        duration = t1 - t0
+        if isinstance(t, DelayTask):
+            rows.append(
+                {"task": t.task_id, "kind": "delay", "start_s": t0, "finish_s": t1,
+                 "size_mb": 0.0, "mean_rate_mbps": 0.0, "hops": 0}
+            )
+            continue
+        rate = t.size_mb / duration if duration > 0 else float("inf")
+        rows.append(
+            {
+                "task": t.task_id,
+                "kind": type(t).__name__,
+                "start_s": t0,
+                "finish_s": t1,
+                "size_mb": t.size_mb,
+                "mean_rate_mbps": rate,
+                "hops": len(t.hops),
+            }
+        )
+    return rows
+
+
+def to_json(result: SimulationResult, tasks: list[Task], indent: int | None = None) -> str:
+    """Serialize the simulation outcome (timeline + traffic) to JSON."""
+    payload = {
+        "makespan_s": result.makespan,
+        "tasks": task_summary_rows(result, tasks),
+        "bytes_sent_mb": {str(k): v for k, v in result.bytes_sent.items()},
+        "bytes_received_mb": {str(k): v for k, v in result.bytes_received.items()},
+        "cross_rack_mb": result.cross_rack_mb,
+        "trace": [
+            {"t0": t0, "t1": t1, "rates": rates} for t0, t1, rates in (result.trace or [])
+        ],
+    }
+    return json.dumps(payload, indent=indent)

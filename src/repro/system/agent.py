@@ -1,0 +1,98 @@
+"""Storage-node agent.
+
+One agent per node (Figure 7).  Agents hold the node's block store plus a
+scratch workspace for in-flight repair buffers, and execute the four command
+kinds a repair plan lowers to (slice / transfer / GF-combine / concat).
+Compute time spent in GF kernels is metered per agent — summed over agents
+this is the system's share of the Table II ``T_o`` column.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ec.subblock import DEFAULT_WORD_BYTES, word_slice
+from repro.gf.field import GF, gf8
+from repro.repair.plan import CombineOp, ConcatOp, Op, SliceOp, TransferOp
+from repro.system.blockstore import BlockStore
+from repro.system.bus import DataBus
+
+
+class Agent:
+    """Executes coordinator commands on one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        field_: GF = gf8,
+        word_bytes: int = DEFAULT_WORD_BYTES,
+        capacity_bytes: int | None = None,
+    ):
+        self.node_id = node_id
+        self.field = field_
+        self.word_bytes = word_bytes
+        self.store = BlockStore(node_id, capacity_bytes)
+        self.scratch: dict[str, np.ndarray] = {}
+        self.compute_seconds = 0.0
+        self.alive = True
+
+    # -------------------------------------------------------------- #
+    def _resolve(self, name: str) -> np.ndarray:
+        """Scratch buffers shadow stored blocks of the same name."""
+        if name in self.scratch:
+            return self.scratch[name]
+        return self.store.get(name)
+
+    def store_block(self, name: str, data: np.ndarray, overwrite: bool = False) -> None:
+        self.store.put(name, np.asarray(data, dtype=self.field.dtype), overwrite)
+
+    def read_block(self, name: str) -> np.ndarray:
+        return self.store.get(name)
+
+    # -------------------------------------------------------------- #
+    # command handlers
+    # -------------------------------------------------------------- #
+    def do_slice(self, op: SliceOp) -> None:
+        src = self._resolve(op.src)
+        self.scratch[op.out] = word_slice(src, op.start, op.stop, self.word_bytes)
+
+    def do_combine(self, op: CombineOp) -> None:
+        srcs = [self._resolve(s) for s in op.srcs]
+        t0 = time.perf_counter()
+        self.scratch[op.out] = self.field.combine(op.coeffs, srcs)
+        self.compute_seconds += time.perf_counter() - t0
+
+    def do_concat(self, op: ConcatOp) -> None:
+        parts = [self._resolve(p) for p in op.parts]
+        self.scratch[op.out] = np.concatenate(parts)
+
+    def send_to(self, other: "Agent", name: str, rename: str | None, bus: DataBus) -> None:
+        data = self._resolve(name)
+        other.scratch[rename or name] = data.copy()
+        bus.record(self.node_id, other.node_id, data.nbytes)
+
+    def clear_scratch(self) -> None:
+        self.scratch.clear()
+
+    def fail(self) -> None:
+        """Crash the agent: loses everything (store and scratch)."""
+        self.alive = False
+        self.store.clear()
+        self.scratch.clear()
+
+
+def run_plan_ops(ops: list[Op], agents: dict[int, Agent], bus: DataBus) -> None:
+    """Dispatch a plan's ops to agents in order (the coordinator's job)."""
+    for op in ops:
+        if isinstance(op, SliceOp):
+            agents[op.node].do_slice(op)
+        elif isinstance(op, TransferOp):
+            agents[op.src_node].send_to(agents[op.dst_node], op.name, op.rename, bus)
+        elif isinstance(op, CombineOp):
+            agents[op.node].do_combine(op)
+        elif isinstance(op, ConcatOp):
+            agents[op.node].do_concat(op)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {op!r}")

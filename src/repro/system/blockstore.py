@@ -1,0 +1,57 @@
+"""Per-node in-memory block store.
+
+Stands in for OpenEC's Redis-backed in-memory key-value store: named block
+buffers plus simple usage accounting.  Buffers are NumPy arrays owned by the
+store; reads return the array itself (callers copy when mutating).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BlockStore:
+    """A node's key-value block storage."""
+
+    def __init__(self, node_id: int, capacity_bytes: int | None = None):
+        self.node_id = node_id
+        self.capacity_bytes = capacity_bytes
+        self._blocks: dict[str, np.ndarray] = {}
+
+    def put(self, name: str, data: np.ndarray, overwrite: bool = False) -> None:
+        if name in self._blocks and not overwrite:
+            raise KeyError(f"block {name!r} already stored on node {self.node_id}")
+        arr = np.asarray(data)
+        new_usage = self.used_bytes() - self._nbytes(name) + arr.nbytes
+        if self.capacity_bytes is not None and new_usage > self.capacity_bytes:
+            raise MemoryError(
+                f"node {self.node_id}: storing {name!r} would exceed capacity"
+            )
+        self._blocks[name] = arr
+
+    def get(self, name: str) -> np.ndarray:
+        if name not in self._blocks:
+            raise KeyError(f"node {self.node_id} has no block {name!r}")
+        return self._blocks[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._blocks
+
+    def delete(self, name: str) -> None:
+        self._blocks.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._blocks)
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    def _nbytes(self, name: str) -> int:
+        arr = self._blocks.get(name)
+        return 0 if arr is None else arr.nbytes
+
+    def used_bytes(self) -> int:
+        return sum(a.nbytes for a in self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)

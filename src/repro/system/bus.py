@@ -1,0 +1,38 @@
+"""Data bus: inter-agent transfers with byte accounting.
+
+In the prototype agents move data through Redis; here transfers are NumPy
+copies, but every transfer is metered (per sender/receiver and per rack
+boundary) so system-level traffic statistics match what the flow simulator
+charges for the same plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DataBus:
+    """Byte-accounting message fabric between agents."""
+
+    rack_of: dict[int, int] = field(default_factory=dict)
+    sent_bytes: dict[int, int] = field(default_factory=dict)
+    received_bytes: dict[int, int] = field(default_factory=dict)
+    cross_rack_bytes: int = 0
+    transfer_count: int = 0
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.sent_bytes[src] = self.sent_bytes.get(src, 0) + nbytes
+        self.received_bytes[dst] = self.received_bytes.get(dst, 0) + nbytes
+        if self.rack_of and self.rack_of.get(src) != self.rack_of.get(dst):
+            self.cross_rack_bytes += nbytes
+        self.transfer_count += 1
+
+    def total_bytes(self) -> int:
+        return sum(self.sent_bytes.values())
+
+    def reset(self) -> None:
+        self.sent_bytes.clear()
+        self.received_bytes.clear()
+        self.cross_rack_bytes = 0
+        self.transfer_count = 0

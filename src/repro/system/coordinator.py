@@ -1,0 +1,533 @@
+"""The coordinator: metadata server + repair orchestration (Figure 7).
+
+Responsibilities, mirroring the paper's prototype:
+
+* erasure-coding metadata — stripe/block placement, coding policy, the
+  mapping from files to stripes;
+* failure detection via heartbeats (HDFS3 NameNode behaviour);
+* repair-solution generation — on a block-lost report it builds a
+  :class:`~repro.repair.context.RepairContext`, asks the configured planner
+  for a :class:`~repro.repair.plan.RepairPlan`, and dispatches the plan's ops
+  to the agents, which execute them cooperatively;
+* timing — the same plan's flow tasks run through the fluid simulator, so
+  every repair returns both the *simulated transfer time* (at the modeled
+  block size) and the *measured compute time* (at the stored block size).
+
+Data plane and timing plane are deliberately scale-decoupled: agents store
+small real buffers (``block_bytes``) while transfer times are simulated at
+the modeled ``block_size_mb`` (64 MB default), exactly like running the
+prototype with a scaled-down payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.ec.rs import RSCode
+from repro.ec.stripe import Stripe, StripeLayout, block_name
+from repro.gf.field import GF, gf8
+from repro.repair.centralized import plan_centralized
+from repro.repair.context import RepairContext
+from repro.repair.hybrid import plan_hybrid
+from repro.repair.independent import plan_independent
+from repro.repair.multinode import CenterScheduler
+from repro.repair.plan import RepairPlan
+from repro.repair.rackaware import plan_rack_aware_hybrid
+from repro.repair.validate import validate_plan
+from repro.simnet.fluid import FluidSimulator
+from repro.system.agent import Agent, run_plan_ops
+from repro.system.bus import DataBus
+from repro.system.heartbeat import HeartbeatMonitor
+
+_PLANNERS = {
+    "cr": lambda ctx, center: plan_centralized(ctx, center=center),
+    "ir": lambda ctx, center: plan_independent(ctx),
+    "hmbr": lambda ctx, center: plan_hybrid(ctx, center=center),
+    "rack-hmbr": lambda ctx, center: plan_rack_aware_hybrid(ctx, center=center),
+}
+
+
+@dataclass
+class WriteReceipt:
+    """Result of a client write."""
+
+    name: str
+    nbytes: int
+    stripe_ids: list[int]
+    padded_bytes: int
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one repair round."""
+
+    dead_nodes: list[int]
+    stripes_repaired: list[int]
+    scheme: str
+    simulated_transfer_s: float
+    compute_s_total: float
+    compute_s_critical: float
+    bytes_on_wire_mb_model: float
+    blocks_recovered: int
+    per_stripe_transfer_s: dict[int, float] = field(default_factory=dict)
+    replacements: dict[int, int] = field(default_factory=dict)
+
+
+class Coordinator:
+    """Centralized coordinator over a cluster of agents."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        code: RSCode,
+        block_bytes: int = 1 << 16,
+        block_size_mb: float = 64.0,
+        field_: GF = gf8,
+        heartbeat_timeout: float = 30.0,
+        rng: np.random.Generator | int = 0,
+    ):
+        if block_bytes % 8:
+            raise ValueError("block_bytes must be word-aligned (multiple of 8)")
+        self.cluster = cluster
+        self.code = code
+        self.block_bytes = block_bytes
+        self.block_size_mb = block_size_mb
+        self.field = field_
+        self.rng = np.random.default_rng(rng) if isinstance(rng, int) else rng
+        self.layout = StripeLayout()
+        self.files: dict[str, tuple[list[int], int]] = {}  # name -> (stripe ids, length)
+        self.agents: dict[int, Agent] = {
+            i: Agent(i, field_) for i in cluster.node_ids()
+        }
+        self.monitor = HeartbeatMonitor(timeout=heartbeat_timeout)
+        for i in cluster.node_ids():
+            self.monitor.register(i)
+        self.bus = DataBus(rack_of={i: cluster[i].rack for i in cluster.node_ids()})
+        self.spares: list[int] = []
+        self.center_scheduler = CenterScheduler()
+        self._next_stripe_id = 0
+
+    # -------------------------------------------------------------- #
+    # membership
+    # -------------------------------------------------------------- #
+    def add_spare(self, node: Node) -> None:
+        """Register an empty node usable as a repair target."""
+        self.cluster.add_node(node)
+        self.agents[node.node_id] = Agent(node.node_id, self.field)
+        self.monitor.register(node.node_id)
+        self.bus.rack_of[node.node_id] = node.rack
+        self.spares.append(node.node_id)
+
+    def data_nodes(self) -> list[int]:
+        return [i for i in self.cluster.alive_ids() if i not in self.spares]
+
+    # -------------------------------------------------------------- #
+    # client path
+    # -------------------------------------------------------------- #
+    def write(self, name: str, data: bytes | np.ndarray) -> WriteReceipt:
+        """Erasure-code ``data`` into stripes and distribute the blocks."""
+        if name in self.files:
+            raise KeyError(f"file {name!r} already exists")
+        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, bytes) else np.asarray(data, dtype=np.uint8)
+        k = self.code.k
+        stripe_payload = k * self.block_bytes
+        padded = int(np.ceil(max(buf.size, 1) / stripe_payload)) * stripe_payload
+        full = np.zeros(padded, dtype=np.uint8)
+        full[: buf.size] = buf
+        stripe_ids = []
+        candidates = self.data_nodes()
+        for off in range(0, padded, stripe_payload):
+            sid = self._next_stripe_id
+            self._next_stripe_id += 1
+            blocks = full[off : off + stripe_payload].reshape(k, self.block_bytes)
+            coded = self.code.encode_stripe(blocks)
+            idx = self.rng.choice(len(candidates), size=self.code.n, replace=False)
+            placement = [candidates[i] for i in idx]
+            stripe = Stripe(sid, k, self.code.m, placement)
+            self.layout.add(stripe)
+            for b, node in enumerate(placement):
+                self.agents[node].store_block(block_name(sid, b), coded[b])
+            stripe_ids.append(sid)
+        self.files[name] = (stripe_ids, buf.size)
+        return WriteReceipt(name, buf.size, stripe_ids, padded)
+
+    def read(self, name: str) -> bytes:
+        """Read a file back, transparently decoding around dead nodes."""
+        if name not in self.files:
+            raise KeyError(f"unknown file {name!r}")
+        stripe_ids, length = self.files[name]
+        stripes = {s.stripe_id: s for s in self.layout}
+        chunks = []
+        for sid in stripe_ids:
+            stripe = stripes[sid]
+            available: dict[int, np.ndarray] = {}
+            for b, node in enumerate(stripe.placement):
+                agent = self.agents[node]
+                bname = block_name(sid, b)
+                if agent.alive and agent.store.has(bname):
+                    available[b] = agent.read_block(bname)
+            data_blocks: list[np.ndarray] = []
+            missing = [b for b in range(self.code.k) if b not in available]
+            if missing:  # degraded read
+                if len(available) < self.code.k:
+                    raise IOError(f"stripe {sid} unrecoverable: {len(available)} blocks left")
+                repaired = self.code.decode(available, missing)
+                for b in range(self.code.k):
+                    data_blocks.append(available.get(b, repaired.get(b)))
+            else:
+                data_blocks = [available[b] for b in range(self.code.k)]
+            chunks.append(np.concatenate(data_blocks))
+        return np.concatenate(chunks)[:length].tobytes()
+
+    # -------------------------------------------------------------- #
+    # failure handling
+    # -------------------------------------------------------------- #
+    def beat(self, node_id: int, now: float) -> None:
+        self.monitor.beat(node_id, now)
+
+    def beat_alive(self, now: float) -> None:
+        """All currently-alive agents heartbeat (convenience for tests)."""
+        for i, agent in self.agents.items():
+            if agent.alive:
+                self.monitor.beat(i, now)
+
+    def crash_node(self, node_id: int) -> None:
+        """Crash an agent: its data is gone; heartbeats stop."""
+        self.agents[node_id].fail()
+        self.cluster[node_id].fail()
+
+    def detect_failures(self, now: float) -> list[int]:
+        """Heartbeat-timeout failure detection (marks cluster nodes dead)."""
+        dead = self.monitor.dead_nodes(now)
+        for i in dead:
+            if self.cluster[i].alive:
+                self.cluster[i].fail()
+            if self.agents[i].alive:
+                self.agents[i].fail()
+        return dead
+
+    # -------------------------------------------------------------- #
+    # repair
+    # -------------------------------------------------------------- #
+    def repair(self, scheme: str = "hmbr", verify: bool = True) -> RepairReport:
+        """Repair every stripe that lost blocks to the current dead nodes.
+
+        New nodes are drawn from the spare pool (one replacement per dead
+        node).  Repairs of different stripes run in parallel: their plans are
+        simulated together so shared links contend, and centers are spread
+        with the §IV-C LFS+LRS scheduler.  ``scheme="auto"`` scores every
+        candidate per stripe in the simulator and picks the fastest.
+        """
+        if scheme != "auto" and scheme not in _PLANNERS:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; choose from {sorted(_PLANNERS)} or 'auto'"
+            )
+        dead = self.cluster.dead_ids()
+        affected = self.layout.stripes_with_failures(dead)
+        if not affected:
+            return RepairReport(dead, [], scheme, 0.0, 0.0, 0.0, 0.0, 0)
+
+        dead_with_blocks = sorted(
+            {s.placement[b] for s in self.layout for b in affected.get(s.stripe_id, []) if s.stripe_id in affected}
+        )
+        free_spares = [s for s in self.spares if self.cluster[s].alive and len(self.agents[s].store) == 0]
+        if len(dead_with_blocks) > len(free_spares):
+            raise RuntimeError(
+                f"{len(dead_with_blocks)} dead nodes but only {len(free_spares)} free spares"
+            )
+        replacement_of = self._assign_spares(dead_with_blocks, free_spares)
+
+        stripes = {s.stripe_id: s for s in self.layout}
+        work: list[tuple[int, RepairContext, int]] = []
+        for sid, failed in sorted(affected.items()):
+            stripe = stripes[sid]
+            new_nodes = [replacement_of[stripe.placement[b]] for b in failed]
+            ctx = RepairContext(
+                cluster=self.cluster,
+                code=self.code,
+                stripe=stripe,
+                failed_blocks=failed,
+                new_nodes=new_nodes,
+                block_size_mb=self.block_size_mb,
+            )
+            center = self.center_scheduler.pick(new_nodes)
+            work.append((sid, ctx, center))
+
+        # For HMBR with several stripes repairing in parallel, a per-stripe
+        # split is miscalibrated (it ignores the other stripes on the same
+        # links); search one common p over the merged task graph instead.
+        common_p: float | None = None
+        if scheme == "hmbr" and len(work) > 1:
+            from repro.repair._build import add_centralized, add_independent
+            from repro.repair.split import scaled_split_tasks, search_split
+            from repro.repair.topology import build_chain_paths
+
+            cr_all, ir_all = [], []
+            for _, ctx, center in work:
+                cr_t, _, _ = add_centralized(ctx, ctx.prefix("h.cr"), 0.0, 1.0, center)
+                ir_t, _, _ = add_independent(
+                    ctx, ctx.prefix("h.ir"), 0.0, 1.0, build_chain_paths(ctx)
+                )
+                cr_all.extend(cr_t)
+                ir_all.extend(ir_t)
+            common_p, _ = search_split(
+                lambda q: scaled_split_tasks(cr_all, ir_all, q), self.cluster
+            )
+
+        all_tasks = []
+        plans: list[tuple[int, RepairPlan, RepairContext]] = []
+        for sid, ctx, center in work:
+            if scheme == "hmbr" and common_p is not None:
+                plan = plan_hybrid(ctx, center=center, p=common_p)
+            elif scheme == "auto":
+                from repro.repair.selector import choose_scheme
+
+                plan = choose_scheme(ctx).plan
+            else:
+                plan = _PLANNERS[scheme](ctx, center)
+            validate_plan(plan, ctx)  # refuse to dispatch an inconsistent solution
+            plans.append((sid, plan, ctx))
+            all_tasks.extend(plan.tasks)
+
+        # ---- data plane: dispatch ops to agents, commit repaired blocks
+        compute_before = {i: a.compute_seconds for i, a in self.agents.items()}
+        for sid, plan, ctx in plans:
+            run_plan_ops(plan.ops, self.agents, self.bus)
+            for fb, (node, buf) in plan.outputs.items():
+                agent = self.agents[node]
+                repaired = agent.scratch[buf]
+                agent.store_block(block_name(sid, fb), repaired, overwrite=True)
+                stripes[sid].placement[fb] = node
+            if verify:
+                self._verify_stripe(sid)
+        for agent in self.agents.values():
+            agent.clear_scratch()
+
+        # ---- timing plane: simulate all plans together
+        sim = FluidSimulator(self.cluster).run(all_tasks)
+        per_stripe = {}
+        for sid, plan, _ in plans:
+            per_stripe[sid] = max(sim.finish_times[t.task_id] for t in plan.tasks)
+
+        compute_by_node = {
+            i: a.compute_seconds - compute_before[i] for i, a in self.agents.items()
+        }
+        return RepairReport(
+            dead_nodes=dead,
+            stripes_repaired=sorted(affected),
+            scheme=scheme,
+            simulated_transfer_s=sim.makespan,
+            compute_s_total=sum(compute_by_node.values()),
+            compute_s_critical=max(compute_by_node.values(), default=0.0),
+            bytes_on_wire_mb_model=sum(p.total_transfer_mb() for _, p, _ in plans),
+            blocks_recovered=sum(len(f) for f in affected.values()),
+            per_stripe_transfer_s=per_stripe,
+            replacements=replacement_of,
+        )
+
+    def _assign_spares(self, dead_nodes: list[int], free_spares: list[int]) -> dict[int, int]:
+        """Match each dead node to a replacement spare.
+
+        Preference order: a spare in the dead node's rack (preserves
+        rack-aware placement invariants), then the spare with the fastest
+        downlink (it is about to receive every repaired block).  Greedy in
+        dead-node order, which is deterministic.
+        """
+        remaining = list(free_spares)
+        out: dict[int, int] = {}
+        for dead in dead_nodes:
+            rack = self.cluster[dead].rack
+            same_rack = [s for s in remaining if self.cluster[s].rack == rack]
+            pool = same_rack if same_rack else remaining
+            pick = max(pool, key=lambda s: (self.cluster[s].downlink, -s))
+            out[dead] = pick
+            remaining.remove(pick)
+        return out
+
+    def update(self, name: str, offset: int, patch: bytes) -> dict:
+        """In-place update with delta parity maintenance.
+
+        Overwrite ``patch`` at byte ``offset`` of the file.  Instead of
+        re-encoding whole stripes, each touched data block sends only the
+        GF *delta* to the parity nodes: ``P_j ^= alpha_{i,j} * (new - old)``
+        — the standard parity-delta update the related work (§VI) optimizes.
+        Returns accounting: blocks patched and parity deltas applied.
+        """
+        if name not in self.files:
+            raise KeyError(f"unknown file {name!r}")
+        stripe_ids, length = self.files[name]
+        if offset < 0 or offset + len(patch) > length:
+            raise ValueError("update range outside the file")
+        stripes = {s.stripe_id: s for s in self.layout}
+        patch_arr = np.frombuffer(patch, dtype=np.uint8)
+        k = self.code.k
+        stripe_payload = k * self.block_bytes
+        touched_blocks = 0
+        parity_deltas = 0
+        pos = 0
+        while pos < len(patch_arr):
+            abs_off = offset + pos
+            stripe_idx = abs_off // stripe_payload
+            sid = stripe_ids[stripe_idx]
+            stripe = stripes[sid]
+            block_idx = (abs_off % stripe_payload) // self.block_bytes
+            block_off = abs_off % self.block_bytes
+            span = min(self.block_bytes - block_off, len(patch_arr) - pos)
+            node = stripe.placement[block_idx]
+            agent = self.agents[node]
+            if not agent.alive:
+                raise IOError(f"cannot update block on dead node {node}")
+            bname = block_name(sid, block_idx)
+            old = agent.read_block(bname)
+            new = old.copy()
+            new[block_off : block_off + span] = patch_arr[pos : pos + span]
+            delta = old ^ new
+            agent.store_block(bname, new, overwrite=True)
+            touched_blocks += 1
+            # ship the scaled delta to every parity node
+            for j in range(self.code.m):
+                coeff = int(self.code.generator[k + j, block_idx])
+                pnode = stripe.placement[k + j]
+                pagent = self.agents[pnode]
+                if not pagent.alive:
+                    continue  # parity will be rebuilt by repair later
+                pname = block_name(sid, k + j)
+                parity = pagent.read_block(pname).copy()
+                self.field.addmul(parity, coeff, delta)
+                pagent.store_block(pname, parity, overwrite=True)
+                self.bus.record(node, pnode, delta.nbytes)
+                parity_deltas += 1
+            pos += span
+        return {"blocks_patched": touched_blocks, "parity_deltas": parity_deltas}
+
+    # -------------------------------------------------------------- #
+    # maintenance
+    # -------------------------------------------------------------- #
+    def delete(self, name: str) -> int:
+        """Delete a file: drop its blocks from every agent; returns blocks freed."""
+        if name not in self.files:
+            raise KeyError(f"unknown file {name!r}")
+        stripe_ids, _ = self.files.pop(name)
+        sids = set(stripe_ids)
+        freed = 0
+        keep = []
+        for stripe in self.layout:
+            if stripe.stripe_id not in sids:
+                keep.append(stripe)
+                continue
+            for b, node in enumerate(stripe.placement):
+                agent = self.agents[node]
+                if agent.alive:
+                    agent.store.delete(block_name(stripe.stripe_id, b))
+                    freed += 1
+        self.layout.stripes = keep
+        return freed
+
+    def rebalance(self, max_moves: int | None = None, tolerance: int = 1) -> dict:
+        """Even out per-node block counts after repairs shifted load.
+
+        Repairs land every reconstructed block on ex-spare nodes, so after a
+        few failure cycles placement skews.  Greedily move blocks from the
+        most- to the least-loaded alive node, never co-locating two blocks
+        of one stripe, until the max/min spread is within ``tolerance`` (or
+        ``max_moves`` is exhausted).  Returns accounting.
+        """
+        moves = 0
+        moved_bytes = 0
+        while max_moves is None or moves < max_moves:
+            counts = {i: 0 for i in self.cluster.alive_ids()}
+            for stripe in self.layout:
+                for nid in stripe.placement:
+                    if nid in counts:
+                        counts[nid] += 1
+            if not counts:
+                break
+            hot = max(counts, key=lambda i: (counts[i], i))
+            cold = min(counts, key=lambda i: (counts[i], -i))
+            if counts[hot] - counts[cold] <= tolerance:
+                break
+            # find a block on `hot` whose stripe doesn't touch `cold`
+            candidate = None
+            for stripe in self.layout:
+                if cold in stripe.placement:
+                    continue
+                b = stripe.block_on(hot)
+                if b is not None:
+                    candidate = (stripe, b)
+                    break
+            if candidate is None:
+                break  # constrained: nothing movable without co-location
+            stripe, b = candidate
+            name = block_name(stripe.stripe_id, b)
+            data = self.agents[hot].read_block(name)
+            self.agents[cold].store_block(name, data.copy())
+            self.agents[hot].store.delete(name)
+            stripe.placement[b] = cold
+            self.bus.record(hot, cold, data.nbytes)
+            moves += 1
+            moved_bytes += data.nbytes
+        counts = self.layout.blocks_per_node()
+        alive_counts = [counts.get(i, 0) for i in self.cluster.alive_ids()]
+        return {
+            "moves": moves,
+            "moved_bytes": moved_bytes,
+            "max_blocks": max(alive_counts, default=0),
+            "min_blocks": min(alive_counts, default=0),
+        }
+
+    def scrub(self) -> dict[int, bool]:
+        """Background integrity scrub: re-verify parity of every stripe.
+
+        Returns stripe id -> healthy.  A stripe with unreachable blocks
+        (dead node, missing buffer) or mismatched parity reports False —
+        this is how silent corruption or an incomplete repair would surface
+        between heartbeat rounds.
+        """
+        out: dict[int, bool] = {}
+        for stripe in self.layout:
+            try:
+                self._verify_stripe(stripe.stripe_id)
+            except (AssertionError, KeyError):
+                out[stripe.stripe_id] = False
+            else:
+                out[stripe.stripe_id] = True
+        return out
+
+    def stats(self) -> dict:
+        """Operational snapshot: capacity, placement, traffic, health."""
+        alive = self.cluster.alive_ids()
+        return {
+            "nodes_alive": len(alive),
+            "nodes_dead": len(self.cluster.dead_ids()),
+            "spares_free": sum(
+                1
+                for s in self.spares
+                if self.cluster[s].alive and len(self.agents[s].store) == 0
+            ),
+            "files": len(self.files),
+            "stripes": len(self.layout),
+            "blocks_stored": sum(len(a.store) for a in self.agents.values()),
+            "bytes_stored": sum(a.store.used_bytes() for a in self.agents.values()),
+            "bus_transfers": self.bus.transfer_count,
+            "bus_bytes": self.bus.total_bytes(),
+            "bus_cross_rack_bytes": self.bus.cross_rack_bytes,
+        }
+
+    def _verify_stripe(self, sid: int) -> None:
+        """Re-check stripe consistency: parity rows match re-encoded data."""
+        stripe = next(s for s in self.layout if s.stripe_id == sid)
+        blocks = []
+        for b, node in enumerate(stripe.placement):
+            agent = self.agents[node]
+            if not agent.alive:
+                raise AssertionError(f"stripe {sid} block {b} maps to a dead node")
+            blocks.append(agent.read_block(block_name(sid, b)))
+        data = np.stack(blocks[: self.code.k])
+        parity = np.stack(blocks[self.code.k :])
+        expect = self.code.encode(data)
+        if not np.array_equal(parity, expect):
+            raise AssertionError(f"stripe {sid} failed post-repair parity verification")

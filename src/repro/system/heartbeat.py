@@ -1,0 +1,40 @@
+"""Heartbeat-based failure detection.
+
+HDFS3's NameNode marks a DataNode dead when heartbeats stop (the paper relies
+on this for block/node failure detection).  We model a logical clock: agents
+beat every interval; the monitor declares nodes dead after ``timeout``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HeartbeatMonitor:
+    """Tracks last-heard times and derives liveness."""
+
+    timeout: float = 30.0
+    last_beat: dict[int, float] = field(default_factory=dict)
+
+    def register(self, node_id: int, now: float = 0.0) -> None:
+        self.last_beat[node_id] = now
+
+    def beat(self, node_id: int, now: float) -> None:
+        if node_id not in self.last_beat:
+            raise KeyError(f"unregistered node {node_id}")
+        self.last_beat[node_id] = now
+
+    def deregister(self, node_id: int) -> None:
+        self.last_beat.pop(node_id, None)
+
+    def dead_nodes(self, now: float) -> list[int]:
+        """Nodes whose last heartbeat is older than the timeout."""
+        return sorted(
+            nid for nid, t in self.last_beat.items() if now - t > self.timeout
+        )
+
+    def alive_nodes(self, now: float) -> list[int]:
+        return sorted(
+            nid for nid, t in self.last_beat.items() if now - t <= self.timeout
+        )

@@ -1,0 +1,81 @@
+"""MTTDL reliability-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reliability import (
+    mttdl_closed_form_m1,
+    mttdl_markov,
+    scheme_mttdl_comparison,
+)
+
+
+def test_matches_closed_form_for_m1():
+    k, mttf, rep = 10, 10_000.0, 24.0
+    markov = mttdl_markov(k, 1, mttf, {1: rep})
+    closed = mttdl_closed_form_m1(k, mttf, rep)
+    assert markov.mttdl_hours == pytest.approx(closed, rel=1e-9)
+
+
+def test_faster_repair_improves_mttdl():
+    slow = mttdl_markov(6, 3, 10_000.0, {1: 10.0, 2: 10.0, 3: 10.0})
+    fast = mttdl_markov(6, 3, 10_000.0, {1: 1.0, 2: 1.0, 3: 1.0})
+    assert fast.mttdl_hours > slow.mttdl_hours * 10
+
+
+def test_more_parity_improves_mttdl():
+    rep = {f: 2.0 for f in range(1, 5)}
+    m2 = mttdl_markov(10, 2, 10_000.0, {f: 2.0 for f in (1, 2)})
+    m4 = mttdl_markov(10, 4, 10_000.0, rep)
+    assert m4.mttdl_hours > m2.mttdl_hours * 100
+
+
+def test_wider_stripe_same_m_hurts_mttdl():
+    rep = {1: 2.0, 2: 2.0}
+    narrow = mttdl_markov(6, 2, 10_000.0, rep)
+    wide = mttdl_markov(64, 2, 10_000.0, rep)
+    assert wide.mttdl_hours < narrow.mttdl_hours
+
+
+def test_callable_repair_times():
+    r = mttdl_markov(6, 2, 10_000.0, lambda f: 0.5 * f)
+    assert r.repair_rates_per_hour[2] == pytest.approx(1.0)
+
+
+def test_invalid_repair_time():
+    with pytest.raises(ValueError):
+        mttdl_markov(6, 2, 10_000.0, {1: 1.0, 2: 0.0})
+
+
+def test_nines_are_monotone_in_mttdl():
+    a = mttdl_markov(6, 3, 10_000.0, {f: 5.0 for f in (1, 2, 3)})
+    b = mttdl_markov(6, 3, 10_000.0, {f: 0.5 for f in (1, 2, 3)})
+    assert b.nines() > a.nines()
+    assert a.mttdl_years == pytest.approx(a.mttdl_hours / (24 * 365.25))
+
+
+def test_scheme_comparison_uses_measured_times():
+    times = {
+        "cr": {1: 20.0, 2: 22.0},
+        "hmbr": {1: 8.0, 2: 9.0},
+    }
+    out = scheme_mttdl_comparison(16, 2, times, node_mttf_hours=20_000.0)
+    assert out["hmbr"].mttdl_hours > out["cr"].mttdl_hours
+    with pytest.raises(ValueError):
+        scheme_mttdl_comparison(16, 2, {"cr": {1: 20.0}})
+
+
+def test_hmbr_durability_gain_end_to_end():
+    """Close the paper's loop: faster multi-block repair -> more durability.
+
+    Uses the experiment harness repair times for (16, 4) under WLD-8x."""
+    from repro.experiments.common import build_scenario, transfer_time
+
+    times = {"cr": {}, "ir": {}, "hmbr": {}}
+    for f in range(1, 5):
+        sc = build_scenario(16, 4, f, wld="WLD-8x", seed=2023)
+        for scheme in times:
+            times[scheme][f] = transfer_time(sc.ctx, scheme)
+    out = scheme_mttdl_comparison(16, 4, times, node_mttf_hours=5_000.0)
+    assert out["hmbr"].mttdl_hours >= out["cr"].mttdl_hours
+    assert out["hmbr"].mttdl_hours >= out["ir"].mttdl_hours

@@ -1,0 +1,71 @@
+"""Traffic-profile and load-balance analysis tests."""
+
+import pytest
+
+from repro.analysis.traffic import TrafficProfile, compare_load_balance, traffic_profile
+from repro.repair.centralized import plan_centralized
+from repro.repair.hybrid import plan_hybrid
+from repro.repair.independent import plan_independent
+from tests.conftest import make_repair_ctx
+
+
+def test_cr_concentrates_receive_on_center():
+    ctx = make_repair_ctx(k=8, m=4, f=2, block_size_mb=64.0)
+    plan = plan_centralized(ctx)
+    prof = traffic_profile(plan)
+    center = plan.meta["center"]
+    # center receives all k fetches
+    assert prof.received_mb[center] == pytest.approx(8 * 64.0)
+    # only two nodes receive anything (center + 1 other new node), and the
+    # center takes 8/9 of it
+    assert prof.max_over_mean("received") > 1.5
+
+
+def test_ir_balances_send_load():
+    """Every survivor uploads exactly f blocks in IR (paper §IV-C)."""
+    ctx = make_repair_ctx(k=8, m=4, f=3, block_size_mb=64.0)
+    prof = traffic_profile(plan_independent(ctx))
+    survivor_sends = [prof.sent_mb[n] for n in ctx.survivor_nodes()[:-1]]
+    assert all(s == pytest.approx(3 * 64.0) for s in survivor_sends)
+    assert prof.gini("sent") < 0.2
+
+
+def test_ir_fairer_than_cr_on_receive():
+    ctx = make_repair_ctx(k=16, m=4, f=4, block_size_mb=64.0)
+    cr = traffic_profile(plan_centralized(ctx))
+    ir = traffic_profile(plan_independent(ctx))
+    assert ir.gini("received") < cr.gini("received")
+    assert ir.max_over_mean("received") < cr.max_over_mean("received")
+
+
+def test_total_traffic_matches_plan_accounting():
+    ctx = make_repair_ctx(k=6, m=3, f=2)
+    for planner in (plan_centralized, plan_independent, plan_hybrid):
+        plan = planner(ctx)
+        prof = traffic_profile(plan)
+        assert prof.total_mb == pytest.approx(plan.total_transfer_mb())
+        assert sum(prof.sent_mb.values()) == pytest.approx(prof.total_mb)
+        assert sum(prof.received_mb.values()) == pytest.approx(prof.total_mb)
+
+
+def test_gini_extremes():
+    flat = TrafficProfile("x", {i: 10.0 for i in range(8)}, {}, 80.0)
+    assert flat.gini("sent") == pytest.approx(0.0, abs=1e-9)
+    hog = TrafficProfile("y", {0: 100.0, **{i: 1e-12 for i in range(1, 8)}}, {}, 100.0)
+    assert hog.gini("sent") > 0.8
+    empty = TrafficProfile("z", {}, {}, 0.0)
+    assert empty.gini("sent") == 0.0
+    assert empty.max_over_mean("sent") == 0.0
+
+
+def test_compare_load_balance_rows():
+    ctx = make_repair_ctx(k=8, m=4, f=2)
+    rows = compare_load_balance(
+        [plan_centralized(ctx), plan_independent(ctx), plan_hybrid(ctx)]
+    )
+    schemes = [r["scheme"] for r in rows]
+    assert schemes == ["CR", "IR", "HMBR"]
+    by = {r["scheme"]: r for r in rows}
+    assert by["IR"]["recv_gini"] < by["CR"]["recv_gini"]
+    # HMBR sits between the two extremes on receive fairness
+    assert by["IR"]["recv_gini"] <= by["HMBR"]["recv_gini"] + 0.05

@@ -1,0 +1,35 @@
+"""CLI entry-point tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_fails(capsys):
+    assert main(["nonsense"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "(64,8)" in out
+    assert "done in" in out
+
+
+def test_all_targets_registered():
+    # every experiment module named in the CLI must import and expose main()
+    import importlib
+
+    for name in EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        assert callable(module.main)
+        assert callable(module.run)

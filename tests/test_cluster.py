@@ -1,0 +1,120 @@
+"""Cluster substrate tests: nodes, topology, failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.failure import FailureInjector, PowerOutage
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+
+
+def test_node_validation():
+    with pytest.raises(ValueError):
+        Node(0, uplink=0, downlink=10)
+    with pytest.raises(ValueError):
+        Node(0, uplink=10, downlink=-1)
+    with pytest.raises(ValueError):
+        Node(0, uplink=10, downlink=10, cross_uplink=0)
+
+
+def test_node_effective_bandwidth():
+    n = Node(0, uplink=100, downlink=200, cross_uplink=20, cross_downlink=30)
+    assert n.effective_uplink(cross_rack=False) == 100
+    assert n.effective_uplink(cross_rack=True) == 20
+    assert n.effective_downlink(cross_rack=True) == 30
+    plain = Node(1, uplink=100, downlink=200)
+    assert plain.effective_uplink(cross_rack=True) == 100
+
+
+def test_node_fail_recover():
+    n = Node(0, 10, 10)
+    assert n.alive
+    n.fail()
+    assert not n.alive
+    n.recover()
+    assert n.alive
+
+
+def test_cluster_duplicate_ids_rejected():
+    with pytest.raises(ValueError):
+        Cluster([Node(1, 10, 10), Node(1, 20, 20)])
+    cl = Cluster([Node(1, 10, 10)])
+    with pytest.raises(ValueError):
+        cl.add_node(Node(1, 10, 10))
+
+
+def test_homogeneous_constructor_with_racks():
+    cl = Cluster.homogeneous(10, bandwidth=100, rack_size=4, cross_bandwidth=25)
+    assert len(cl) == 10
+    assert cl.rack_of(0) == 0 and cl.rack_of(4) == 1 and cl.rack_of(9) == 2
+    assert cl.racks() == {0: [0, 1, 2, 3], 1: [4, 5, 6, 7], 2: [8, 9]}
+    assert cl.same_rack(0, 3) and not cl.same_rack(3, 4)
+    assert cl.rack_size(1) == 4
+    assert cl[0].cross_uplink == 25
+
+
+def test_from_bandwidths():
+    cl = Cluster.from_bandwidths([10, 20], [30, 40])
+    assert cl[0].uplink == 10 and cl[0].downlink == 30
+    assert cl[1].uplink == 20 and cl[1].downlink == 40
+    symmetric = Cluster.from_bandwidths([10, 20])
+    assert symmetric[1].downlink == 20
+    with pytest.raises(ValueError):
+        Cluster.from_bandwidths([10], [20, 30])
+
+
+def test_alive_dead_tracking():
+    cl = Cluster.homogeneous(5, 100)
+    cl.fail_nodes([1, 3])
+    assert cl.alive_ids() == [0, 2, 4]
+    assert cl.dead_ids() == [1, 3]
+    cl.recover_all()
+    assert cl.dead_ids() == []
+
+
+def test_failure_injector_kill_and_heal():
+    cl = Cluster.homogeneous(10, 100)
+    inj = FailureInjector(cl, rng=0)
+    killed = inj.kill([2, 5])
+    assert killed == [2, 5]
+    # killing again is a no-op
+    assert inj.kill([2]) == []
+    assert inj.killed == [2, 5]
+    inj.heal_all()
+    assert cl.dead_ids() == [] and inj.killed == []
+
+
+def test_failure_injector_random_respects_exclusions():
+    cl = Cluster.homogeneous(10, 100)
+    inj = FailureInjector(cl, rng=1)
+    killed = inj.kill_random(3, exclude=[0, 1, 2, 3, 4])
+    assert all(k >= 5 for k in killed)
+    with pytest.raises(ValueError):
+        inj.kill_random(100)
+
+
+def test_kill_rack():
+    cl = Cluster.homogeneous(8, 100, rack_size=4)
+    inj = FailureInjector(cl, rng=0)
+    assert inj.kill_rack(1) == [4, 5, 6, 7]
+    assert cl.alive_ids() == [0, 1, 2, 3]
+
+
+def test_power_outage_model():
+    with pytest.raises(ValueError):
+        PowerOutage(0.0)
+    outage = PowerOutage(0.01)
+    rng = np.random.default_rng(0)
+    dead = outage.sample_dead_nodes(1000, rng)
+    assert len(dead) == 10
+    assert len(set(dead.tolist())) == 10
+    # tiny cluster still loses at least one node
+    assert len(outage.sample_dead_nodes(10, rng)) == 1
+
+
+def test_power_outage_via_injector():
+    cl = Cluster.homogeneous(200, 100)
+    inj = FailureInjector(cl, rng=7)
+    dead = inj.power_outage(PowerOutage(0.05))
+    assert len(dead) == 10
+    assert set(dead) == set(cl.dead_ids())

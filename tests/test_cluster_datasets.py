@@ -1,0 +1,46 @@
+"""Canonical dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.datasets import (
+    CANONICAL_NODES,
+    canonical_wld,
+    load_wld,
+    materialize_datasets,
+)
+
+
+def test_canonical_datasets_deterministic():
+    a = canonical_wld("WLD-8x")
+    b = canonical_wld("WLD-8x")
+    assert np.array_equal(a.uplinks, b.uplinks)
+    assert len(a) == CANONICAL_NODES
+    assert a.measured_gap == pytest.approx(8.0)
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError):
+        canonical_wld("WLD-3x")
+
+
+def test_materialize_and_load_roundtrip(tmp_path):
+    paths = materialize_datasets(tmp_path)
+    assert set(paths) == {"WLD-2x", "WLD-4x", "WLD-8x"}
+    for p in paths.values():
+        assert p.exists()
+    loaded = load_wld("WLD-4x", tmp_path)
+    generated = canonical_wld("WLD-4x")
+    assert np.allclose(loaded.uplinks, generated.uplinks, atol=1e-3)
+
+
+def test_load_without_directory_generates_in_memory():
+    ds = load_wld("WLD-2x")
+    assert len(ds) == CANONICAL_NODES
+
+
+def test_load_materializes_missing_csv(tmp_path):
+    assert not any(tmp_path.iterdir())
+    ds = load_wld("WLD-8x", tmp_path)
+    assert (tmp_path / "wld_8x.csv").exists()
+    assert len(ds) == CANONICAL_NODES

@@ -1,0 +1,63 @@
+"""OU bandwidth-trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.timeseries import bandwidth_trace_events, ou_path
+from repro.cluster.topology import Cluster
+from repro.simnet.flows import Flow
+from repro.simnet.fluid import FluidSimulator
+
+
+def test_ou_path_statistics():
+    rng = np.random.default_rng(0)
+    path = ou_path(100.0, duration_s=500.0, step_s=1.0, sigma=10.0, theta=0.5, rng=rng)
+    assert path[0] == 100.0
+    # mean reversion: long-run average near the base
+    assert np.mean(path) == pytest.approx(100.0, rel=0.1)
+    # floored away from zero
+    assert path.min() >= 10.0
+    with pytest.raises(ValueError):
+        ou_path(100.0, -1.0, 1.0, 1.0, 0.5, rng)
+
+
+def test_ou_path_zero_sigma_is_constant():
+    rng = np.random.default_rng(1)
+    path = ou_path(50.0, 10.0, 1.0, sigma=0.0, theta=0.5, rng=rng)
+    assert np.allclose(path, 50.0)
+
+
+def test_trace_events_structure():
+    cl = Cluster([Node(0, 100, 100), Node(1, 80, 120)])
+    events = bandwidth_trace_events(cl, duration_s=5.0, step_s=1.0, rng=2)
+    assert len(events) == 2 * 5
+    assert all(e.time > 0 for e in events)
+    times = [e.time for e in events]
+    assert times == sorted(times)
+    assert all(e.uplink > 0 and e.downlink > 0 for e in events)
+
+
+def test_trace_restricted_to_nodes():
+    cl = Cluster([Node(i, 100, 100) for i in range(4)])
+    events = bandwidth_trace_events(cl, 3.0, nodes=[1, 2], rng=3)
+    assert {e.node for e in events} == {1, 2}
+
+
+def test_simulation_under_churn_completes():
+    """A repair-shaped transfer under OU churn still conserves bytes."""
+    cl = Cluster([Node(i, 100, 100) for i in range(6)])
+    events = bandwidth_trace_events(cl, duration_s=60.0, step_s=0.5, rel_sigma=0.3, rng=4)
+    flows = [Flow(f"f{i}", i, (i + 1) % 6, 48.0) for i in range(6)]
+    res = FluidSimulator(cl).run(flows, events=events)
+    assert res.makespan > 0
+    assert sum(res.bytes_sent.values()) == pytest.approx(6 * 48.0)
+
+
+def test_churn_changes_makespan_vs_static():
+    cl = Cluster([Node(i, 100, 100) for i in range(4)])
+    flows = [Flow("f", 0, 1, 200.0)]
+    static = FluidSimulator(cl).run(flows).makespan
+    events = bandwidth_trace_events(cl, 60.0, step_s=0.5, rel_sigma=0.4, rng=5)
+    churned = FluidSimulator(cl).run(flows, events=events).makespan
+    assert churned != pytest.approx(static)

@@ -1,0 +1,48 @@
+"""Stripe metadata tests."""
+
+import pytest
+
+from repro.ec.stripe import Stripe, StripeLayout, block_name
+
+
+def test_block_name_format():
+    assert block_name(17, 3) == "s0017/b03"
+
+
+def test_stripe_basic_lookups():
+    s = Stripe(0, 3, 2, [10, 11, 12, 13, 14])
+    assert s.n == 5 and s.width == 5
+    assert s.node_of(2) == 12
+    assert s.block_on(13) == 3
+    assert s.block_on(99) is None
+
+
+def test_stripe_placement_validation():
+    with pytest.raises(ValueError):
+        Stripe(0, 3, 2, [1, 2, 3, 4])  # wrong length
+    with pytest.raises(ValueError):
+        Stripe(0, 3, 2, [1, 2, 3, 4, 4])  # duplicate node
+
+
+def test_failed_and_surviving_blocks():
+    s = Stripe(0, 3, 2, [10, 11, 12, 13, 14])
+    assert s.failed_blocks({11, 14}) == [1, 4]
+    assert s.surviving_blocks({11, 14}) == [0, 2, 3]
+    assert s.failed_blocks(set()) == []
+
+
+def test_layout_queries():
+    layout = StripeLayout()
+    layout.add(Stripe(0, 2, 1, [1, 2, 3]))
+    layout.add(Stripe(1, 2, 1, [2, 3, 4]))
+    assert len(layout) == 2
+    failures = layout.stripes_with_failures({2})
+    assert failures == {0: [1], 1: [0]}
+    counts = layout.blocks_per_node()
+    assert counts == {1: 1, 2: 2, 3: 2, 4: 1}
+
+
+def test_layout_no_failures():
+    layout = StripeLayout([ ])
+    layout.add(Stripe(0, 2, 1, [1, 2, 3]))
+    assert layout.stripes_with_failures({9}) == {}

@@ -1,0 +1,27 @@
+"""Every shipped example must run cleanly end to end (subprocess smoke)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 7
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"

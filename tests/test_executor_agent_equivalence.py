@@ -1,0 +1,100 @@
+"""The centralized executor and the distributed agents must agree exactly.
+
+Both interpret the same plan ops; divergence between them would mean the
+storage system repairs different bytes than the verified executor — the
+worst possible silent bug.  This fuzzes plans across schemes and checks
+byte equality of every output and scratch artifact that both sides produce.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.stripe import block_name
+from repro.repair.centralized import plan_centralized
+from repro.repair.executor import PlanExecutor, Workspace
+from repro.repair.hybrid import plan_hybrid
+from repro.repair.independent import plan_independent
+from repro.repair.rackaware import plan_rack_aware_hybrid
+from repro.system.agent import Agent, run_plan_ops
+from repro.system.bus import DataBus
+from tests.conftest import make_repair_ctx
+
+PLANNERS = [plan_centralized, plan_independent, plan_hybrid, plan_rack_aware_hybrid]
+
+
+def run_both(ctx, plan, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(ctx.code.k, 256), dtype=np.uint8)
+    full = ctx.code.encode_stripe(data)
+
+    # path 1: centralized executor
+    ws = Workspace()
+    ws.load_stripe(ctx.stripe, full)
+    for b in ctx.failed_blocks:
+        ws.drop_node(ctx.stripe.placement[b])
+    PlanExecutor(ws).execute(plan)
+
+    # path 2: distributed agents
+    agents = {i: Agent(i) for i in ctx.cluster.node_ids()}
+    dead = {ctx.stripe.placement[b] for b in ctx.failed_blocks}
+    for idx, node in enumerate(ctx.stripe.placement):
+        if node not in dead:
+            agents[node].store_block(block_name(ctx.stripe.stripe_id, idx), full[idx])
+    bus = DataBus(rack_of={i: ctx.cluster[i].rack for i in ctx.cluster.node_ids()})
+    run_plan_ops(plan.ops, agents, bus)
+
+    return full, ws, agents, bus
+
+
+@pytest.mark.parametrize("planner", PLANNERS)
+def test_outputs_identical(planner):
+    ctx = make_repair_ctx(k=6, m=3, f=2, rack_size=3, cross=30.0)
+    plan = planner(ctx)
+    full, ws, agents, bus = run_both(ctx, plan, seed=1)
+    for fb, (node, name) in plan.outputs.items():
+        from_executor = ws.get(node, name)
+        from_agents = agents[node].scratch[name]
+        assert np.array_equal(from_executor, from_agents)
+        assert np.array_equal(from_executor, full[fb])
+
+
+def test_bus_traffic_matches_executor_accounting():
+    ctx = make_repair_ctx(k=5, m=2, f=2)
+    plan = plan_hybrid(ctx)
+    rng = np.random.default_rng(2)
+    data = rng.integers(0, 256, size=(ctx.code.k, 512), dtype=np.uint8)
+    full = ctx.code.encode_stripe(data)
+    ws = Workspace()
+    ws.load_stripe(ctx.stripe, full)
+    for b in ctx.failed_blocks:
+        ws.drop_node(ctx.stripe.placement[b])
+    report = PlanExecutor(ws).execute(plan)
+
+    agents = {i: Agent(i) for i in ctx.cluster.node_ids()}
+    dead = {ctx.stripe.placement[b] for b in ctx.failed_blocks}
+    for idx, node in enumerate(ctx.stripe.placement):
+        if node not in dead:
+            agents[node].store_block(block_name(ctx.stripe.stripe_id, idx), full[idx])
+    bus = DataBus()
+    run_plan_ops(plan.ops, agents, bus)
+    assert bus.total_bytes() == pytest.approx(report.transfer_mb_equiv * 2**20)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_equivalence_property(k, m, seed):
+    rng = np.random.default_rng(seed)
+    f = int(rng.integers(1, m + 1))
+    n = k + m + f
+    ups = rng.uniform(20, 200, size=n).tolist()
+    ctx = make_repair_ctx(k=k, m=m, f=f, uplinks=ups)
+    plan = plan_hybrid(ctx)
+    full, ws, agents, _ = run_both(ctx, plan, seed=seed)
+    for fb, (node, name) in plan.outputs.items():
+        assert np.array_equal(ws.get(node, name), agents[node].scratch[name])

@@ -1,0 +1,52 @@
+"""Tests for the foreground-impact and LRC-comparison experiment harnesses."""
+
+import pytest
+
+from repro.experiments import exp_foreground, exp_lrc
+
+
+def test_foreground_rows_structure():
+    rows = exp_foreground.run(seeds=(2023,), k=8, m=4, f=2, n_reads=8)
+    assert [r["scheme"] for r in rows] == ["cr", "ir", "hmbr", "hmbr-w0.25"]
+    for r in rows:
+        assert r["repair_mixed_s"] >= r["repair_solo_s"] - 1e-9
+        assert r["read_stretch_x"] >= 1.0 - 1e-9
+        assert r["repair_slowdown_x"] >= 1.0 - 1e-9
+    by = {r["scheme"]: r for r in rows}
+    # weighted throttling must not stretch reads more than full-rate HMBR
+    assert by["hmbr-w0.25"]["read_stretch_x"] <= by["hmbr"]["read_stretch_x"] + 1e-9
+
+
+def test_foreground_hmbr_shortest_interference_window():
+    rows = exp_foreground.run(seeds=(2023, 2024), k=16, m=8, f=4, n_reads=16)
+    by = {r["scheme"]: r for r in rows}
+    # HMBR finishes its repair first even while competing with reads, so its
+    # interference *window* is the shortest (the intensity can be higher —
+    # that is the documented trade-off, not asserted here).
+    assert by["hmbr"]["repair_mixed_s"] <= by["cr"]["repair_mixed_s"] + 1e-9
+    assert by["hmbr"]["repair_mixed_s"] <= by["ir"]["repair_mixed_s"] + 1e-9
+
+
+def test_lrc_rows_structure():
+    # matched fault tolerance: RS(8,3) and LRC(8,2,2) both survive 3 erasures
+    rows = exp_lrc.run(
+        configs=[("RS(8,3)+HMBR", "rs", (8, 3)), ("LRC(8,2,2)", "lrc", (8, 2, 2))]
+    )
+    rs_row = next(r for r in rows if r["config"].startswith("RS"))
+    lrc_row = next(r for r in rows if r["config"].startswith("LRC"))
+    # the structural trade: LRC stores more, reads fewer blocks per repair
+    assert lrc_row["overhead_x"] > rs_row["overhead_x"]
+    assert lrc_row["single_repair_blocks"] < rs_row["single_repair_blocks"]
+    assert lrc_row["single_repair_s"] > 0 and rs_row["single_repair_s"] > 0
+
+
+def test_slo_rows_structure():
+    from repro.experiments import exp_slo
+
+    rows = exp_slo.run(slos=[8.0], m=4, f=2, k_max=32, k_step=8, seeds=(2023,))
+    by = {r["scheme"]: r for r in rows}
+    assert set(by) == {"cr", "ir", "hmbr"}
+    assert by["hmbr"]["max_k"] >= by["cr"]["max_k"]
+    for r in rows:
+        if r["max_k"]:
+            assert r["repair_s"] <= 8.0 + 1e-9

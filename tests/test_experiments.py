@@ -1,0 +1,110 @@
+"""Experiment-harness smoke tests with reduced configurations.
+
+These pin the *qualitative claims* of each paper experiment on small grids;
+the full-size regenerations live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import build_scenario, format_table, plan_for, transfer_time
+from repro.experiments import exp1, exp2, exp3, exp4, exp5, exp6, table1
+
+
+# ------------------------------------------------------------------ #
+# scenario builder
+# ------------------------------------------------------------------ #
+def test_build_scenario_structure():
+    sc = build_scenario(6, 3, 2, wld="WLD-4x", seed=7)
+    assert len(sc.cluster) == 6 + 3 + 2
+    assert sc.ctx.f == 2
+    assert sorted(sc.dead_nodes) == sorted(sc.ctx.failed_blocks)
+    assert set(sc.ctx.new_nodes) == {9, 10}
+
+
+def test_build_scenario_f_exceeding_m():
+    with pytest.raises(ValueError):
+        build_scenario(6, 3, 4)
+
+
+def test_build_scenario_racks_and_caps():
+    sc = build_scenario(8, 4, 2, rack_size=4, cross_factor=5.0)
+    assert sc.cluster.rack_of(0) == 0 and sc.cluster.rack_of(4) == 1
+    node = sc.cluster[0]
+    assert node.cross_uplink == pytest.approx(node.uplink / 5.0)
+
+
+def test_plan_for_unknown_scheme():
+    sc = build_scenario(4, 2, 1)
+    with pytest.raises(ValueError):
+        plan_for(sc.ctx, "nope")
+
+
+def test_format_table_renders():
+    rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+    text = format_table(rows)
+    assert "a" in text and "10" in text and "0.125" in text
+    assert format_table([]) == "(no rows)"
+
+
+# ------------------------------------------------------------------ #
+# experiment harnesses (reduced configs)
+# ------------------------------------------------------------------ #
+def test_table1_rows_match_paper_shape():
+    rows = table1.run()
+    assert len(rows) == 6
+    r64 = next(r for r in rows if r["(k,m)"] == "(64,8)")
+    r6 = next(r for r in rows if r["(k,m)"] == "(6,3)")
+    assert r64["R(N=5000)%"] > 25 > r6["R(N=5000)%"]
+
+
+def test_exp1_hmbr_always_wins():
+    rows = exp1.run(grid=[(6, 3, 2), (12, 4, 4)], wlds=["WLD-2x", "WLD-8x"], seeds=(2023,))
+    for row in rows:
+        assert row["hmbr"] <= min(row["cr"], row["ir"]) + 1e-9
+
+
+def test_exp1_gap_flips_cr_vs_ir():
+    """IR wins at 2x; CR closes the gap (or wins) at 8x for moderate k."""
+    rows = exp1.run(grid=[(12, 4, 4)], wlds=["WLD-2x", "WLD-8x"], seeds=(2023, 2024))
+    by_wld = {r["wld"]: r for r in rows}
+    assert by_wld["WLD-2x"]["ir"] < by_wld["WLD-2x"]["cr"]
+    ratio_2x = by_wld["WLD-2x"]["ir"] / by_wld["WLD-2x"]["cr"]
+    ratio_8x = by_wld["WLD-8x"]["ir"] / by_wld["WLD-8x"]["cr"]
+    assert ratio_8x > ratio_2x  # IR deteriorates relative to CR as gap widens
+
+
+def test_exp2_time_grows_with_f():
+    rows = exp2.run(cases={(16, 8): [2, 4, 8]}, seeds=(2023,))
+    times = [r["hmbr"] for r in rows]
+    assert times[0] < times[1] < times[2]
+    for r in rows:
+        assert r["hmbr"] <= min(r["cr"], r["ir"]) + 1e-9
+
+
+def test_exp3_time_scales_with_block_size():
+    rows = exp3.run(cases=[(16, 8, 8)], sizes_mb=[8.0, 32.0], seeds=(2023,))
+    small, large = rows[0], rows[1]
+    for scheme in ("cr", "ir", "hmbr"):
+        assert large[scheme] == pytest.approx(4 * small[scheme], rel=0.05)
+
+
+def test_exp4_rack_aware_helps_small_f():
+    rows = exp4.run(cases={(16, 4): [2]}, rack_size=4, seeds=(2023,))
+    assert rows[0]["rack_hmbr"] <= rows[0]["hmbr"] + 1e-9
+
+
+def test_exp5_scheduler_mechanism():
+    rows = exp5.run(cases=[(16, 8, 4)], seeds=(2023,), n_data_nodes=40, n_stripes=12)
+    row = rows[0]
+    assert row["max_center_load_enh"] <= row["max_center_load_base"]
+
+
+def test_exp6_transfer_dominates():
+    rows = exp6.run(cases=[(16, 4)], test_block_bytes=1 << 13)
+    assert len(rows) == 3
+    for r in rows:
+        assert r["T_t_frac_%"] > 60.0
+    hmbr = next(r for r in rows if r["scheme"] == "HMBR")
+    cr = next(r for r in rows if r["scheme"] == "CR")
+    ir = next(r for r in rows if r["scheme"] == "IR")
+    assert hmbr["T_t_s"] <= min(cr["T_t_s"], ir["T_t_s"]) + 1e-9

@@ -1,0 +1,78 @@
+"""Sweep-driver and export tests."""
+
+import csv
+
+import pytest
+
+from repro.experiments.sweep import cartesian_sweep, rows_to_csv, rows_to_markdown
+
+
+def fake_experiment(a, b, scale=1.0):
+    return {"result": (a + b) * scale}
+
+
+def fake_multi_row(a):
+    return [{"i": i, "v": a * i} for i in range(2)]
+
+
+def test_cartesian_sweep_covers_grid():
+    rows = cartesian_sweep(fake_experiment, {"a": [1, 2], "b": [10, 20]}, fixed={"scale": 2.0})
+    assert len(rows) == 4
+    assert {(r["a"], r["b"]) for r in rows} == {(1, 10), (1, 20), (2, 10), (2, 20)}
+    assert all(r["result"] == (r["a"] + r["b"]) * 2.0 for r in rows)
+
+
+def test_cartesian_sweep_multi_row_functions():
+    rows = cartesian_sweep(fake_multi_row, {"a": [3, 4]})
+    assert len(rows) == 4
+    assert all("i" in r and "a" in r for r in rows)
+
+
+def test_cartesian_sweep_validation():
+    with pytest.raises(ValueError):
+        cartesian_sweep(fake_experiment, {})
+    with pytest.raises(ValueError):
+        cartesian_sweep(fake_experiment, {"a": [1]}, fixed={"a": 2})
+
+
+def test_rows_to_csv_roundtrip(tmp_path):
+    rows = [{"x": 1, "y": 2.5}, {"x": 2, "z": "extra"}]
+    path = rows_to_csv(rows, tmp_path / "out.csv")
+    with path.open() as fh:
+        loaded = list(csv.DictReader(fh))
+    assert loaded[0]["x"] == "1" and loaded[0]["y"] == "2.5"
+    assert loaded[1]["z"] == "extra"
+    with pytest.raises(ValueError):
+        rows_to_csv([], tmp_path / "empty.csv")
+
+
+def test_rows_to_markdown():
+    text = rows_to_markdown([{"a": 1, "b": 0.5}])
+    assert text.splitlines()[0] == "| a | b |"
+    assert "| 1 | 0.500 |" in text
+    assert rows_to_markdown([]) == "(no rows)"
+
+
+def test_cli_csv_export(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "t1.csv"
+    assert main(["table1", "--csv", str(out)]) == 0
+    assert out.exists()
+    with out.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 6  # one per (k, m)
+
+
+def test_sweep_with_real_harness():
+    """Sweep the cross-rack factor of a small rack-aware comparison."""
+    from repro.experiments.exp4 import run as run_exp4
+
+    rows = cartesian_sweep(
+        lambda cross_factor: run_exp4(
+            cases={(16, 4): [2]}, rack_size=4, seeds=(2023,), cross_factor=cross_factor
+        ),
+        {"cross_factor": [2.0, 10.0]},
+    )
+    assert len(rows) == 2
+    assert {r["cross_factor"] for r in rows} == {2.0, 10.0}

@@ -1,0 +1,61 @@
+"""Parity between the reference and vectorized max-min allocators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.fluid import FluidSimulator, _Resource
+
+
+@st.composite
+def allocation_instance(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    n_res = draw(st.integers(min_value=1, max_value=12))
+    n_flows = draw(st.integers(min_value=1, max_value=15))
+    res_keys = [f"r{i}" for i in range(n_res)]
+    caps = {r: float(rng.uniform(5, 200)) for r in res_keys}
+    flows = {}
+    for i in range(n_flows):
+        k = int(rng.integers(1, min(n_res, 4) + 1))
+        picks = rng.choice(n_res, size=k, replace=True)  # multiplicity allowed
+        flows[f"f{i}"] = [res_keys[j] for j in picks]
+    return res_keys, caps, flows
+
+
+@settings(max_examples=50, deadline=None)
+@given(allocation_instance())
+def test_vectorized_matches_reference(instance):
+    res_keys, caps, flows = instance
+    resources = {r: _Resource(caps[r]) for r in res_keys}
+    reference = FluidSimulator._allocate(dict(flows), resources)
+
+    tids = sorted(flows)
+    alloc = FluidSimulator._VectorAllocator(tids, flows, res_keys)
+    caps_arr = np.array([caps[r] for r in res_keys])
+    vec = alloc.allocate(np.ones(len(tids), dtype=bool), caps_arr)
+    for tid in tids:
+        assert vec[alloc.flow_index[tid]] == pytest.approx(reference[tid], rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(allocation_instance())
+def test_allocation_is_feasible_and_maxmin(instance):
+    """No resource over-subscribed; every flow is pinned by a saturated one."""
+    res_keys, caps, flows = instance
+    tids = sorted(flows)
+    alloc = FluidSimulator._VectorAllocator(tids, flows, res_keys)
+    caps_arr = np.array([caps[r] for r in res_keys])
+    vec = alloc.allocate(np.ones(len(tids), dtype=bool), caps_arr)
+
+    usage = {r: 0.0 for r in res_keys}
+    for tid in tids:
+        for r in flows[tid]:
+            usage[r] += vec[alloc.flow_index[tid]]
+    for r in res_keys:
+        assert usage[r] <= caps[r] * (1 + 1e-9)
+    # max-min: each flow touches at least one (nearly) saturated resource
+    for tid in tids:
+        saturated = any(usage[r] >= caps[r] * (1 - 1e-6) for r in flows[tid])
+        assert saturated, tid

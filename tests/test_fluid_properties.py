@@ -1,0 +1,87 @@
+"""Property-based invariants of the fluid simulator (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.simnet.flows import Flow, PipelineFlow
+from repro.simnet.fluid import FluidSimulator
+
+
+@st.composite
+def random_scenario(draw):
+    n_nodes = draw(st.integers(min_value=3, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    nodes = [
+        Node(i, float(rng.uniform(10, 200)), float(rng.uniform(10, 200)))
+        for i in range(n_nodes)
+    ]
+    cluster = Cluster(nodes)
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    tasks = []
+    prev_id = None
+    for i in range(n_flows):
+        a, b = rng.choice(n_nodes, size=2, replace=False)
+        deps = ()
+        if prev_id is not None and rng.random() < 0.3:
+            deps = (prev_id,)
+        tid = f"f{i}"
+        tasks.append(Flow(tid, int(a), int(b), float(rng.uniform(0.5, 64)), deps=deps))
+        prev_id = tid
+    # occasionally add a pipeline
+    if n_nodes >= 4 and draw(st.booleans()):
+        path = rng.choice(n_nodes, size=4, replace=False)
+        tasks.append(PipelineFlow("pipe", tuple(int(x) for x in path), 16.0))
+    return cluster, tasks
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_scenario())
+def test_fluid_invariants(scenario):
+    cluster, tasks = scenario
+    res = FluidSimulator(cluster).run(tasks)
+    by_id = {t.task_id: t for t in tasks}
+
+    # 1. every task starts at/after its dependencies finish
+    for t in tasks:
+        for d in t.deps:
+            assert res.start_times[t.task_id] >= res.finish_times[d] - 1e-9
+
+    # 2. finish >= start, makespan = max finish
+    for tid in by_id:
+        assert res.finish_times[tid] >= res.start_times[tid] - 1e-9
+    assert res.makespan == pytest.approx(max(res.finish_times.values()))
+
+    # 3. no task beats its unconstrained bandwidth lower bound
+    for t in tasks:
+        min_link = min(
+            min(cluster[a].uplink, cluster[b].downlink) for a, b in t.hops
+        )
+        lower = t.size_mb / min_link
+        duration = res.finish_times[t.task_id] - res.start_times[t.task_id]
+        assert duration >= lower - 1e-9
+
+    # 4. traffic conservation
+    total = sum(t.size_mb * len(t.hops) for t in tasks)
+    assert sum(res.bytes_sent.values()) == pytest.approx(total)
+    assert sum(res.bytes_received.values()) == pytest.approx(total)
+
+    # 5. makespan bounded below by every node's volume / link rate
+    for node, mb in res.bytes_sent.items():
+        assert res.makespan >= mb / cluster[node].uplink - 1e-6
+    for node, mb in res.bytes_received.items():
+        assert res.makespan >= mb / cluster[node].downlink - 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_scenario(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_fluid_is_deterministic(scenario, _seed):
+    cluster, tasks = scenario
+    r1 = FluidSimulator(cluster).run(tasks)
+    r2 = FluidSimulator(cluster).run(tasks)
+    assert r1.makespan == r2.makespan
+    assert r1.finish_times == r2.finish_times

@@ -1,0 +1,169 @@
+"""Field-axiom and kernel tests for GF(2^w), including property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.field import GF, gf8
+
+elem8 = st.integers(min_value=0, max_value=255)
+nonzero8 = st.integers(min_value=1, max_value=255)
+elem16 = st.integers(min_value=0, max_value=65535)
+
+
+def test_singleton_cache():
+    assert GF(8) is GF(8)
+    assert GF(8) is gf8
+    assert GF(16) is not GF(8)
+
+
+# ------------------------------------------------------------------ #
+# field axioms (property-based)
+# ------------------------------------------------------------------ #
+@given(elem8, elem8, elem8)
+def test_mul_associative(a, b, c):
+    f = gf8
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+
+@given(elem8, elem8)
+def test_mul_commutative(a, b):
+    assert gf8.mul(a, b) == gf8.mul(b, a)
+
+
+@given(elem8, elem8, elem8)
+def test_distributive(a, b, c):
+    f = gf8
+    left = f.mul(a, f.add(b, c))
+    right = f.add(f.mul(a, b), f.mul(a, c))
+    assert left == right
+
+
+@given(nonzero8)
+def test_multiplicative_inverse(a):
+    assert gf8.mul(a, gf8.inv(a)) == 1
+
+
+@given(elem8)
+def test_additive_self_inverse(a):
+    assert gf8.add(a, a) == 0
+
+
+@given(elem8, nonzero8)
+def test_div_undoes_mul(a, b):
+    assert gf8.div(gf8.mul(a, b), b) == a
+
+
+@given(nonzero8, st.integers(min_value=-300, max_value=300))
+def test_pow_matches_repeated_multiplication(a, n):
+    f = gf8
+    expect = 1
+    if n >= 0:
+        for _ in range(n):
+            expect = f.mul(expect, a)
+    else:
+        inv = f.inv(a)
+        for _ in range(-n):
+            expect = f.mul(expect, inv)
+    assert f.pow(a, n) == expect
+
+
+@settings(max_examples=25)
+@given(elem16, st.integers(min_value=1, max_value=65535))
+def test_gf16_div_mul_roundtrip(a, b):
+    f = GF(16)
+    assert f.div(f.mul(a, b), b) == a
+
+
+# ------------------------------------------------------------------ #
+# error paths
+# ------------------------------------------------------------------ #
+def test_zero_division_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf8.div(5, 0)
+    with pytest.raises(ZeroDivisionError):
+        gf8.inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf8.pow(0, -1)
+
+
+def test_pow_zero_base():
+    assert gf8.pow(0, 3) == 0
+    assert gf8.pow(5, 0) == 1
+
+
+def test_unsupported_field_width():
+    with pytest.raises(ValueError):
+        GF(12)
+
+
+# ------------------------------------------------------------------ #
+# vector kernels
+# ------------------------------------------------------------------ #
+def test_scale_matches_scalar_mul():
+    rng = np.random.default_rng(1)
+    buf = rng.integers(0, 256, size=1000, dtype=np.uint8)
+    for coeff in (0, 1, 2, 113, 255):
+        out = gf8.scale(coeff, buf)
+        expect = np.array([gf8.mul(coeff, int(x)) for x in buf[:50]], dtype=np.uint8)
+        assert np.array_equal(out[:50], expect)
+
+
+def test_scale_zero_and_one():
+    buf = np.arange(256, dtype=np.uint8)
+    assert not gf8.scale(0, buf).any()
+    one = gf8.scale(1, buf)
+    assert np.array_equal(one, buf)
+    assert one is not buf  # must be a copy, not the original
+
+
+def test_addmul_in_place():
+    rng = np.random.default_rng(2)
+    dst = rng.integers(0, 256, size=512, dtype=np.uint8)
+    src = rng.integers(0, 256, size=512, dtype=np.uint8)
+    snapshot = dst.copy()
+    ret = gf8.addmul(dst, 7, src)
+    assert ret is dst
+    assert np.array_equal(dst, snapshot ^ gf8.scale(7, src))
+
+
+def test_addmul_coeff_zero_is_noop():
+    dst = np.arange(16, dtype=np.uint8)
+    snapshot = dst.copy()
+    gf8.addmul(dst, 0, np.full(16, 255, dtype=np.uint8))
+    assert np.array_equal(dst, snapshot)
+
+
+def test_combine_linear_combination():
+    rng = np.random.default_rng(3)
+    blocks = [rng.integers(0, 256, size=64, dtype=np.uint8) for _ in range(4)]
+    coeffs = [3, 0, 1, 200]
+    out = gf8.combine(coeffs, blocks)
+    expect = np.zeros(64, dtype=np.uint8)
+    for c, b in zip(coeffs, blocks):
+        expect ^= gf8.scale(c, b)
+    assert np.array_equal(out, expect)
+
+
+def test_combine_validates_lengths():
+    with pytest.raises(ValueError):
+        gf8.combine([1, 2], [np.zeros(4, dtype=np.uint8)])
+    with pytest.raises(ValueError):
+        gf8.combine([], [])
+
+
+def test_gf16_scale_kernel():
+    f = GF(16)
+    rng = np.random.default_rng(4)
+    buf = rng.integers(0, 65536, size=256, dtype=np.uint16)
+    out = f.scale(4097, buf)
+    expect = np.array([f.mul(4097, int(x)) for x in buf[:20]], dtype=np.uint16)
+    assert np.array_equal(out[:20], expect)
+
+
+def test_random_elements():
+    rng = np.random.default_rng(5)
+    vals = gf8.random_elements(1000, rng, nonzero=True)
+    assert vals.dtype == np.uint8
+    assert (vals != 0).all()

@@ -1,0 +1,80 @@
+"""Tests for GF(2^w) table construction."""
+
+import numpy as np
+import pytest
+
+from repro.gf.tables import (
+    PRIMITIVE_POLY,
+    build_inv_table,
+    build_log_exp,
+    build_mul_table,
+)
+
+
+@pytest.mark.parametrize("w", sorted(PRIMITIVE_POLY))
+def test_exp_log_are_inverse_bijections(w):
+    log, exp = build_log_exp(w)
+    order = (1 << w) - 1
+    # exp over one period hits every nonzero element exactly once
+    seen = set(int(x) for x in exp[:order])
+    assert seen == set(range(1, 1 << w))
+    # log(exp(i)) == i for all i in the period
+    assert all(int(log[int(exp[i])]) == i for i in range(order))
+
+
+@pytest.mark.parametrize("w", sorted(PRIMITIVE_POLY))
+def test_exp_table_doubled_for_wraparound(w):
+    log, exp = build_log_exp(w)
+    order = (1 << w) - 1
+    assert len(exp) == 2 * order
+    assert np.array_equal(exp[:order], exp[order:])
+
+
+def test_exp_starts_at_one_and_generator_is_two():
+    log, exp = build_log_exp(8)
+    assert exp[0] == 1
+    assert exp[1] == 2
+    assert log[2] == 1
+
+
+def test_unsupported_width_rejected():
+    with pytest.raises(ValueError):
+        build_log_exp(7)
+
+
+def test_mul_table_matches_log_exp():
+    table = build_mul_table(8)
+    log, exp = build_log_exp(8)
+    rng = np.random.default_rng(0)
+    a = rng.integers(1, 256, size=200)
+    b = rng.integers(1, 256, size=200)
+    expect = exp[log[a] + log[b]]
+    assert np.array_equal(table[a, b], expect)
+
+
+def test_mul_table_zero_row_and_column():
+    table = build_mul_table(8)
+    assert not table[0, :].any()
+    assert not table[:, 0].any()
+
+
+def test_mul_table_identity_row():
+    table = build_mul_table(8)
+    assert np.array_equal(table[1], np.arange(256, dtype=np.uint8))
+
+
+def test_mul_table_rejected_for_wide_fields():
+    with pytest.raises(ValueError):
+        build_mul_table(16)
+
+
+@pytest.mark.parametrize("w", [4, 8, 16])
+def test_inv_table_correct(w):
+    inv = build_inv_table(w)
+    table_mul = build_mul_table(w) if w <= 8 else None
+    log, exp = build_log_exp(w)
+    order = (1 << w) - 1
+    for a in [1, 2, 3, 5, (1 << w) - 1, (1 << w) // 2 + 1]:
+        product = exp[(int(log[a]) + int(log[int(inv[a])])) % order]
+        assert product == 1
+    assert inv[1] == 1

@@ -1,0 +1,83 @@
+"""Assorted edge cases: GF(2^4), empty plans, degenerate configs."""
+
+import numpy as np
+import pytest
+
+from repro.gf.field import GF
+from repro.gf.matrix import gf_inv, gf_matmul, gf_identity
+
+
+def test_gf4_field_works():
+    f = GF(4)
+    assert f.size == 16
+    for a in range(1, 16):
+        assert f.mul(a, f.inv(a)) == 1
+    buf = np.array([0, 1, 7, 15], dtype=np.uint8)
+    out = f.scale(3, buf)
+    assert out[0] == 0 and out[1] == 3
+
+
+def test_gf4_small_code():
+    """A (4, 2) code fits GF(2^4)'s 16 elements."""
+    from repro.ec.rs import RSCode
+
+    code = RSCode(4, 2, GF(4))
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 16, size=(4, 64)).astype(np.uint8)
+    stripe = code.encode_stripe(data)
+    out = code.decode({i: stripe[i] for i in (1, 2, 4, 5)}, [0, 3])
+    assert np.array_equal(out[0], stripe[0])
+    assert np.array_equal(out[3], stripe[3])
+
+
+def test_gf4_matrix_roundtrip():
+    f = GF(4)
+    m = np.array([[1, 2], [3, 1]], dtype=np.uint8)
+    inv = gf_inv(m, f)
+    assert np.array_equal(gf_matmul(m, inv, f), gf_identity(2, f))
+
+
+def test_single_data_block_code():
+    """(1, m) replication-like codes work end to end."""
+    from repro.ec.rs import RSCode
+
+    code = RSCode(1, 2)
+    data = np.arange(32, dtype=np.uint8).reshape(1, 32)
+    stripe = code.encode_stripe(data)
+    out = code.decode({2: stripe[2]}, [0])
+    assert np.array_equal(out[0], data[0])
+
+
+def test_repair_with_m_equals_f_uses_every_survivor():
+    """f = m leaves exactly k survivors: no survivor-selection freedom."""
+    from tests.conftest import make_repair_ctx
+
+    ctx = make_repair_ctx(k=5, m=3, f=3)
+    assert len(ctx.surviving_blocks()) == ctx.k
+    assert ctx.chosen_survivors() == ctx.surviving_blocks()
+
+
+def test_empty_simulation():
+    from repro.cluster.topology import Cluster
+    from repro.simnet.fluid import FluidSimulator
+
+    cl = Cluster.homogeneous(2, 100.0)
+    res = FluidSimulator(cl).run([])
+    assert res.makespan == 0.0
+    assert res.finish_times == {}
+
+
+def test_block_name_zero_padding_sorts_correctly():
+    from repro.ec.stripe import block_name
+
+    names = [block_name(0, b) for b in range(12)]
+    assert names == sorted(names)
+
+
+def test_bandwidth_dataset_repr_fields():
+    from repro.cluster.bandwidth import make_wld
+
+    ds = make_wld(10, "WLD-2x", seed=0)
+    assert ds.distribution == "normal"
+    assert ds.seed == 0
+    assert len(ds) == 10

@@ -1,0 +1,126 @@
+"""Tests for the §III analytical model, pinned to the paper's worked numbers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.repair.model import (
+    bw_multiple_to_single,
+    bw_single_to_multiple,
+    bw_single_to_single,
+    optimal_split,
+    repair_model,
+    t_cr,
+    t_hybrid,
+    t_ir,
+    t_of_p,
+    volume_split,
+)
+from tests.conftest import make_repair_ctx
+
+positive = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+# ------------------------------------------------------------------ #
+# §III-B1 bandwidth cases
+# ------------------------------------------------------------------ #
+def test_bandwidth_cases():
+    assert bw_single_to_single(100, 60) == 60
+    assert bw_single_to_multiple(100, 60, r=4) == 25
+    assert bw_single_to_multiple(100, 20, r=4) == 20
+    assert bw_multiple_to_single(100, 60, s=3) == 20
+    assert bw_multiple_to_single(5, 60, s=3) == 5
+    with pytest.raises(ValueError):
+        bw_single_to_multiple(100, 60, r=0)
+    with pytest.raises(ValueError):
+        bw_multiple_to_single(100, 60, s=0)
+
+
+# ------------------------------------------------------------------ #
+# the paper's Figure 2 numbers
+# ------------------------------------------------------------------ #
+def test_fig2_centralized_stage1_is_0192(fig2):
+    """§II-C: t1 = 64MB*3 / 1000MB/s = 0.192 s for the download stage."""
+    model = repair_model(fig2)
+    stage1 = 64.0 * 3 / 1000.0
+    stage2 = 64.0 / 1000.0  # distribute P2 to the other new node
+    assert model.t_cr == pytest.approx(stage1 + stage2)
+    assert model.center == 5
+
+
+def test_fig2_independent_is_020(fig2):
+    """§II-D: t2 = 64MB*2 / 640MB/s = 0.20 s (N4's uplink is slowest)."""
+    assert t_ir(fig2) == pytest.approx(0.20)
+
+
+def test_fig2_hybrid_beats_both(fig2):
+    model = repair_model(fig2)
+    assert model.t_hmbr < model.t_cr
+    assert model.t_hmbr < model.t_ir
+    # the paper's p = 1/2 example gives T = max(0.128 + ..., 0.15); the
+    # optimal p0 must do at least as well as any manual split
+    assert model.t(model.p0) <= model.t(0.5) + 1e-12
+
+
+def test_fig2_cr_without_second_stage():
+    """With f = 1 there is no distribution stage (Eq. 2's second term)."""
+    ctx = make_repair_ctx(k=3, m=2, f=1, uplinks=[100.0] * 6, downlinks=[100.0] * 6)
+    assert t_cr(ctx) == pytest.approx(16.0 * 3 / 100.0)
+
+
+# ------------------------------------------------------------------ #
+# Lemma 1 / Theorem 1 properties
+# ------------------------------------------------------------------ #
+@given(positive, positive)
+def test_lemma1_intersection_in_unit_interval(tcr, tir):
+    p0 = optimal_split(tcr, tir)
+    assert 0.0 < p0 < 1.0
+    assert p0 * tcr == pytest.approx((1 - p0) * tir)
+
+
+@given(positive, positive, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_theorem1_p0_is_global_minimum(tcr, tir, p):
+    """T(p0) <= T(p) for every p in [0, 1]."""
+    p0 = optimal_split(tcr, tir)
+    assert t_of_p(p0, tcr, tir) <= t_of_p(p, tcr, tir) + 1e-9
+
+
+@given(positive, positive)
+def test_hybrid_time_is_harmonic_combination(tcr, tir):
+    t = t_hybrid(tcr, tir)
+    assert t == pytest.approx(tcr * tir / (tcr + tir))
+    assert t < min(tcr, tir)
+
+
+def test_optimal_split_edge_cases():
+    assert optimal_split(0.0, 0.0) == 0.5
+    assert optimal_split(0.0, 5.0) == 1.0  # CR free -> all CR
+    assert optimal_split(5.0, 0.0) == 0.0
+    assert t_hybrid(0.0, 5.0) == 0.0
+    with pytest.raises(ValueError):
+        optimal_split(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        t_of_p(1.5, 1.0, 1.0)
+
+
+# ------------------------------------------------------------------ #
+# volume split
+# ------------------------------------------------------------------ #
+def test_volume_split_in_unit_interval(fig2):
+    p = volume_split(fig2)
+    assert 0.0 <= p <= 1.0
+
+
+def test_volume_split_extreme_imbalance_prefers_ir():
+    """k huge and center slow: almost everything should go through IR."""
+    k, m, f = 16, 2, 2
+    ups = [100.0] * (k + m) + [100.0, 100.0]
+    downs = [100.0] * (k + m) + [30.0, 30.0]  # slow new nodes
+    ctx = make_repair_ctx(k=k, m=m, f=f, uplinks=ups, downlinks=downs)
+    p = volume_split(ctx)
+    assert p < 0.3
+
+
+def test_model_chain_order_variants(fig2):
+    """uplink-desc ordering cannot be worse than index order on Fig 2."""
+    assert t_ir(fig2, "uplink-desc") <= t_ir(fig2, "index") + 1e-12

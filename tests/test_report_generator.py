@@ -1,0 +1,50 @@
+"""Smoke test for the EXPERIMENTS.md generator in quick mode.
+
+The full document is regenerated offline (`python -m repro.experiments.report`);
+here we only pin the structure on heavily reduced inputs by stubbing the
+expensive harnesses.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.report as report
+
+
+def test_generate_quick_structure(tmp_path, monkeypatch):
+    # stub the two slow harnesses (rack-aware trees, multi-node search)
+    monkeypatch.setattr(
+        report.exp4, "run",
+        lambda **kw: [{"(k,m)": "(8,4)", "f": 2, "hmbr": 2.0, "rack_hmbr": 1.5,
+                       "reduction_%": 25.0, "cross_mb_hmbr": 10.0, "cross_mb_rack": 8.0}],
+    )
+    monkeypatch.setattr(
+        report.exp5, "run",
+        lambda **kw: [{"(k,m,f)": "(8,4,2)", "stripes": 4, "baseline_s": 2.0,
+                       "enhanced_s": 1.8, "reduction_%": 10.0,
+                       "max_center_load_base": 3, "max_center_load_enh": 2}],
+    )
+    monkeypatch.setattr(
+        report.exp1, "run",
+        lambda **kw: [{"wld": "WLD-2x", "(k,m,f)": "(6,3,2)", "cr": 3.0, "ir": 1.5,
+                       "hmbr": 1.2, "hmbr_vs_cr_%": 60.0, "hmbr_vs_ir_%": 20.0}],
+    )
+    monkeypatch.setattr(
+        report.exp_slo, "run",
+        lambda **kw: [{"slo_s": 5.0, "scheme": "hmbr", "max_k": 32,
+                       "redundancy_x": 1.25, "repair_s": 4.0}],
+    )
+    monkeypatch.setattr(
+        report.sensitivity, "run",
+        lambda **kw: [{"rel_error": 0.1, "cr": 3.0, "ir": 2.0, "hmbr_oracle": 1.0,
+                       "hmbr_noisy": 1.1, "noisy_p": 0.4, "regret_%": 10.0,
+                       "still_beats_pure": True}],
+    )
+    out = report.generate(tmp_path / "EXP.md", quick=True)
+    text = Path(out).read_text()
+    assert text.startswith("# EXPERIMENTS")
+    assert text.count("## ") == 13
+    assert "Table I" in text and "Table II" in text
+    assert "**Paper's claim.**" in text
+    assert "**Reproduction note.**" in text

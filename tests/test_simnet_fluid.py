@@ -1,0 +1,201 @@
+"""Fluid simulator tests against hand-computable scenarios.
+
+These pin the simulator to the paper's §III-B1 bandwidth-sharing semantics:
+Case 1 (min of uplink/downlink), Case 2 (uplink divided by fan-out), Case 3
+(downlink divided by fan-in), plus pipelining, dependencies and cross-rack
+caps.
+"""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.simnet.flows import DelayTask, Flow, PipelineFlow, validate_tasks
+from repro.simnet.fluid import FluidSimulator
+
+
+def simple_cluster(*bandwidths):
+    """Nodes with (uplink, downlink) tuples."""
+    return Cluster([Node(i, u, d) for i, (u, d) in enumerate(bandwidths)])
+
+
+# ------------------------------------------------------------------ #
+# task validation
+# ------------------------------------------------------------------ #
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        Flow("f", 1, 1, 10.0)
+    with pytest.raises(ValueError):
+        Flow("f", 0, 1, -1.0)
+    with pytest.raises(ValueError):
+        PipelineFlow("p", (1,), 10.0)
+    with pytest.raises(ValueError):
+        PipelineFlow("p", (1, 2, 1), 10.0)
+    with pytest.raises(ValueError):
+        DelayTask("d", -1.0)
+
+
+def test_task_graph_validation():
+    t1 = Flow("a", 0, 1, 1.0)
+    with pytest.raises(ValueError):
+        validate_tasks([t1, Flow("a", 1, 2, 1.0)])  # duplicate id
+    with pytest.raises(ValueError):
+        validate_tasks([Flow("b", 0, 1, 1.0, deps=("missing",))])
+
+
+# ------------------------------------------------------------------ #
+# case 1: single-to-single
+# ------------------------------------------------------------------ #
+def test_single_flow_min_of_up_down():
+    cl = simple_cluster((100, 999), (999, 40))
+    res = FluidSimulator(cl).run([Flow("f", 0, 1, 80.0)])
+    assert res.makespan == pytest.approx(80.0 / 40.0)  # downlink binds
+
+
+# ------------------------------------------------------------------ #
+# case 2: single-to-multiple (uplink divided by fan-out)
+# ------------------------------------------------------------------ #
+def test_fan_out_divides_uplink():
+    cl = simple_cluster((90, 999), (999, 999), (999, 999), (999, 999))
+    flows = [Flow(f"f{i}", 0, i, 30.0) for i in (1, 2, 3)]
+    res = FluidSimulator(cl).run(flows)
+    # each receiver gets 90/3 = 30 MB/s -> 1 s
+    assert res.makespan == pytest.approx(1.0)
+
+
+def test_fan_out_slow_receiver_releases_share():
+    """Max-min: a receiver slower than its fair share frees bandwidth."""
+    cl = simple_cluster((90, 999), (999, 10), (999, 999), (999, 999))
+    flows = [Flow(f"f{i}", 0, i, 30.0) for i in (1, 2, 3)]
+    res = FluidSimulator(cl).run(flows)
+    # node 1 capped at 10; the other two split the remaining 80 -> 40 each
+    assert res.finish_times["f2"] == pytest.approx(30.0 / 40.0)
+    assert res.finish_times["f1"] == pytest.approx(30.0 / 10.0)
+
+
+# ------------------------------------------------------------------ #
+# case 3: multiple-to-single (downlink divided by fan-in)
+# ------------------------------------------------------------------ #
+def test_fan_in_divides_downlink():
+    cl = simple_cluster((999, 999), (999, 999), (999, 999), (999, 60))
+    flows = [Flow(f"f{i}", i, 3, 20.0) for i in (0, 1, 2)]
+    res = FluidSimulator(cl).run(flows)
+    assert res.makespan == pytest.approx(1.0)  # 60/3 = 20 MB/s each
+
+
+# ------------------------------------------------------------------ #
+# pipelines
+# ------------------------------------------------------------------ #
+def test_pipeline_rate_is_min_hop():
+    cl = simple_cluster((100, 100), (70, 100), (100, 100))
+    res = FluidSimulator(cl).run([PipelineFlow("p", (0, 1, 2), 35.0)])
+    assert res.makespan == pytest.approx(35.0 / 70.0)
+
+
+def test_concurrent_pipelines_share_links():
+    """Two chains over the same path halve the bottleneck uplink each."""
+    cl = simple_cluster((100, 999), (80, 999), (999, 999))
+    chains = [PipelineFlow(f"p{i}", (0, 1, 2), 40.0) for i in range(2)]
+    res = FluidSimulator(cl).run(chains)
+    assert res.makespan == pytest.approx(40.0 / (80.0 / 2))
+
+
+def test_pipeline_counts_every_hop_in_traffic():
+    cl = simple_cluster((100, 100), (100, 100), (100, 100))
+    res = FluidSimulator(cl).run([PipelineFlow("p", (0, 1, 2), 10.0)])
+    assert res.bytes_sent == {0: 10.0, 1: 10.0}
+    assert res.bytes_received == {1: 10.0, 2: 10.0}
+
+
+# ------------------------------------------------------------------ #
+# dependencies, delays, zero-size tasks
+# ------------------------------------------------------------------ #
+def test_dependency_sequencing():
+    cl = simple_cluster((10, 10), (10, 10), (10, 10))
+    tasks = [
+        Flow("first", 0, 1, 10.0),
+        Flow("second", 1, 2, 10.0, deps=("first",)),
+    ]
+    res = FluidSimulator(cl).run(tasks)
+    assert res.finish_times["first"] == pytest.approx(1.0)
+    assert res.start_times["second"] == pytest.approx(1.0)
+    assert res.makespan == pytest.approx(2.0)
+
+
+def test_delay_task_and_chained_flow():
+    cl = simple_cluster((10, 10), (10, 10))
+    tasks = [
+        DelayTask("compute", 1.5),
+        Flow("send", 0, 1, 10.0, deps=("compute",)),
+    ]
+    res = FluidSimulator(cl).run(tasks)
+    assert res.makespan == pytest.approx(2.5)
+
+
+def test_zero_size_flow_completes_instantly():
+    cl = simple_cluster((10, 10), (10, 10))
+    res = FluidSimulator(cl).run([Flow("z", 0, 1, 0.0)])
+    assert res.makespan == 0.0
+
+
+def test_dependency_cycle_detected():
+    cl = simple_cluster((10, 10), (10, 10))
+    tasks = [
+        Flow("a", 0, 1, 1.0, deps=("b",)),
+        Flow("b", 1, 0, 1.0, deps=("a",)),
+    ]
+    with pytest.raises(AssertionError):
+        FluidSimulator(cl).run(tasks)
+
+
+# ------------------------------------------------------------------ #
+# cross-rack capacities
+# ------------------------------------------------------------------ #
+def rack_cluster():
+    return Cluster(
+        [
+            Node(0, 100, 100, rack=0, cross_uplink=20, cross_downlink=20),
+            Node(1, 100, 100, rack=0, cross_uplink=20, cross_downlink=20),
+            Node(2, 100, 100, rack=1, cross_uplink=20, cross_downlink=20),
+        ]
+    )
+
+
+def test_inner_rack_flow_ignores_cross_cap():
+    res = FluidSimulator(rack_cluster()).run([Flow("f", 0, 1, 50.0)])
+    assert res.makespan == pytest.approx(0.5)
+    assert res.cross_rack_mb == 0.0
+
+
+def test_cross_rack_flow_is_capped():
+    res = FluidSimulator(rack_cluster()).run([Flow("f", 0, 2, 50.0)])
+    assert res.makespan == pytest.approx(50.0 / 20.0)
+    assert res.cross_rack_mb == 50.0
+
+
+def test_cross_rack_pipeline_hops_accounted():
+    res = FluidSimulator(rack_cluster()).run([PipelineFlow("p", (0, 1, 2), 20.0)])
+    # hop 0->1 inner (100), hop 1->2 cross (20): rate = 20
+    assert res.makespan == pytest.approx(1.0)
+    assert res.cross_rack_mb == 20.0
+
+
+# ------------------------------------------------------------------ #
+# conservation invariants (property-ish)
+# ------------------------------------------------------------------ #
+def test_traffic_conservation_random_graph():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    cl = simple_cluster(*[(rng.uniform(20, 200), rng.uniform(20, 200)) for _ in range(12)])
+    tasks = []
+    for i in range(30):
+        a, b = rng.choice(12, size=2, replace=False)
+        tasks.append(Flow(f"f{i}", int(a), int(b), float(rng.uniform(1, 64))))
+    res = FluidSimulator(cl).run(tasks)
+    assert sum(res.bytes_sent.values()) == pytest.approx(sum(t.size_mb for t in tasks))
+    assert sum(res.bytes_received.values()) == pytest.approx(sum(t.size_mb for t in tasks))
+    # makespan must be at least every flow's unconstrained lower bound
+    for t in tasks:
+        lower = t.size_mb / min(cl[t.src].uplink, cl[t.dst].downlink)
+        assert res.finish_times[t.task_id] >= lower - 1e-9

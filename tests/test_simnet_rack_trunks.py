@@ -1,0 +1,89 @@
+"""Shared rack-trunk (top-of-rack uplink) capacity tests."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.simnet.flows import Flow
+from repro.simnet.fluid import FluidSimulator
+
+
+def trunked_cluster(trunk_up=30.0, trunk_down=None):
+    cl = Cluster(
+        [
+            Node(0, 100, 100, rack=0),
+            Node(1, 100, 100, rack=0),
+            Node(2, 100, 100, rack=1),
+            Node(3, 100, 100, rack=1),
+        ]
+    )
+    cl.set_rack_trunk(0, trunk_up, trunk_down)
+    cl.set_rack_trunk(1, trunk_up, trunk_down)
+    return cl
+
+
+def test_trunk_validation():
+    cl = trunked_cluster()
+    with pytest.raises(ValueError):
+        cl.set_rack_trunk(0, -1.0)
+    cl.set_all_rack_trunks(50.0)
+    assert cl.rack_trunks[0] == (50.0, 50.0)
+
+
+def test_inner_rack_traffic_ignores_trunk():
+    cl = trunked_cluster(trunk_up=10.0)
+    res = FluidSimulator(cl).run([Flow("f", 0, 1, 50.0)])
+    assert res.makespan == pytest.approx(0.5)
+
+
+def test_single_cross_flow_capped_by_trunk():
+    cl = trunked_cluster(trunk_up=30.0)
+    res = FluidSimulator(cl).run([Flow("f", 0, 2, 60.0)])
+    assert res.makespan == pytest.approx(2.0)
+
+
+def test_trunk_shared_by_all_rack_senders():
+    """Two cross flows from the same rack share its 30 MB/s trunk."""
+    cl = trunked_cluster(trunk_up=30.0)
+    flows = [Flow("a", 0, 2, 30.0), Flow("b", 1, 3, 30.0)]
+    res = FluidSimulator(cl).run(flows)
+    assert res.makespan == pytest.approx(2.0)  # 15 MB/s each
+
+
+def test_per_node_caps_do_not_share():
+    """Contrast: per-node tc caps give each sender its own 30 MB/s."""
+    cl = Cluster(
+        [
+            Node(0, 100, 100, rack=0, cross_uplink=30.0),
+            Node(1, 100, 100, rack=0, cross_uplink=30.0),
+            Node(2, 100, 100, rack=1),
+            Node(3, 100, 100, rack=1),
+        ]
+    )
+    flows = [Flow("a", 0, 2, 30.0), Flow("b", 1, 3, 30.0)]
+    res = FluidSimulator(cl).run(flows)
+    assert res.makespan == pytest.approx(1.0)
+
+
+def test_trunk_downlink_direction():
+    cl = trunked_cluster(trunk_up=1000.0, trunk_down=20.0)
+    flows = [Flow("a", 0, 2, 20.0), Flow("b", 1, 3, 20.0)]
+    res = FluidSimulator(cl).run(flows)
+    # both flows enter rack 1: share its 20 MB/s down-trunk
+    assert res.makespan == pytest.approx(2.0)
+
+
+def test_rack_aware_cr_wins_more_under_shared_trunk():
+    """With a shared trunk, cutting cross flows matters even more than with
+    per-node caps: rack-aware CR sends f intermediates per rack instead of
+    one block per survivor through the same narrow pipe."""
+    from repro.repair.centralized import plan_centralized
+    from repro.repair.rackaware import plan_rack_aware_centralized
+    from tests.conftest import make_repair_ctx
+
+    ctx = make_repair_ctx(k=8, m=4, f=2, rack_size=4, block_size_mb=64.0)
+    ctx.cluster.set_all_rack_trunks(25.0)
+    sim = FluidSimulator(ctx.cluster)
+    t_plain = sim.run(plan_centralized(ctx).tasks).makespan
+    t_rack = sim.run(plan_rack_aware_centralized(ctx).tasks).makespan
+    assert t_rack < t_plain

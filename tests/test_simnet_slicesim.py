@@ -1,0 +1,44 @@
+"""Slice-level pipelining validation of the fluid pipeline abstraction."""
+
+import pytest
+
+from repro.simnet.slicesim import pipeline_steady_state_time, simulate_pipeline_slices
+
+
+def test_single_slice_is_store_and_forward():
+    # one slice: hops serialize fully
+    t = simulate_pipeline_slices(60.0, [30.0, 60.0], n_slices=1)
+    assert t == pytest.approx(60.0 / 30.0 + 60.0 / 60.0)
+
+
+def test_many_slices_converge_to_min_hop_rate():
+    size = 64.0
+    bws = [100.0, 40.0, 80.0, 60.0]
+    steady = pipeline_steady_state_time(size, bws)
+    t = simulate_pipeline_slices(size, bws, n_slices=1024)
+    # fill term shrinks with slice count; within 2% at 1024 slices
+    assert t >= steady
+    assert t == pytest.approx(steady, rel=0.02)
+
+
+def test_convergence_is_monotone_in_slices():
+    size, bws = 64.0, [50.0, 25.0, 100.0]
+    times = [simulate_pipeline_slices(size, bws, n) for n in (1, 4, 16, 64, 256)]
+    assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+
+def test_wavefront_exact_formula_uniform_bandwidth():
+    """Uniform bandwidth: T = (S + H - 1) * slice/bw."""
+    size, bw, n, hops = 64.0, 32.0, 8, 5
+    t = simulate_pipeline_slices(size, [bw] * hops, n)
+    slice_t = (size / n) / bw
+    assert t == pytest.approx((n + hops - 1) * slice_t)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        simulate_pipeline_slices(10.0, [10.0], n_slices=0)
+    with pytest.raises(ValueError):
+        simulate_pipeline_slices(10.0, [], n_slices=4)
+    with pytest.raises(ValueError):
+        simulate_pipeline_slices(10.0, [0.0], n_slices=4)

@@ -1,0 +1,95 @@
+"""Static evaluator tests and fluid-agreement checks."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.repair.centralized import plan_centralized
+from repro.repair.independent import plan_independent
+from repro.repair.model import repair_model
+from repro.simnet.flows import DelayTask, Flow, PipelineFlow
+from repro.simnet.fluid import FluidSimulator
+from repro.simnet.static import StaticShareEvaluator
+from tests.conftest import make_repair_ctx
+
+
+def simple_cluster(*bandwidths):
+    return Cluster([Node(i, u, d) for i, (u, d) in enumerate(bandwidths)])
+
+
+def test_static_single_flow():
+    cl = simple_cluster((100, 999), (999, 40))
+    res = StaticShareEvaluator(cl).run([Flow("f", 0, 1, 80.0)])
+    assert res.makespan == pytest.approx(2.0)
+    assert res.rates["f"] == pytest.approx(40.0)
+
+
+def test_static_fan_in_division():
+    cl = simple_cluster((999, 999), (999, 999), (999, 999), (999, 60))
+    flows = [Flow(f"f{i}", i, 3, 20.0) for i in range(3)]
+    res = StaticShareEvaluator(cl).run(flows)
+    assert res.makespan == pytest.approx(1.0)
+
+
+def test_static_pipeline_min_hop_with_sharing():
+    cl = simple_cluster((100, 999), (80, 999), (999, 999))
+    chains = [PipelineFlow(f"p{i}", (0, 1, 2), 40.0) for i in range(2)]
+    res = StaticShareEvaluator(cl).run(chains)
+    assert res.makespan == pytest.approx(40.0 / 40.0)  # 80/2 shared
+
+
+def test_static_dependencies_and_delays():
+    cl = simple_cluster((10, 10), (10, 10))
+    tasks = [
+        DelayTask("d", 1.0),
+        Flow("f", 0, 1, 10.0, deps=("d",)),
+    ]
+    res = StaticShareEvaluator(cl).run(tasks)
+    assert res.makespan == pytest.approx(2.0)
+
+
+def test_static_cycle_detection():
+    cl = simple_cluster((10, 10), (10, 10))
+    tasks = [
+        Flow("a", 0, 1, 1.0, deps=("b",)),
+        Flow("b", 1, 0, 1.0, deps=("a",)),
+    ]
+    with pytest.raises(ValueError):
+        StaticShareEvaluator(cl).run(tasks)
+
+
+def test_static_matches_eq2_eq3_on_plans(fig2):
+    """On CR and IR plan shapes the static evaluator equals the paper model."""
+    ev = StaticShareEvaluator(fig2.cluster)
+    model = repair_model(fig2)
+    cr = ev.run(plan_centralized(fig2).tasks).makespan
+    ir = ev.run(plan_independent(fig2).tasks).makespan
+    assert cr == pytest.approx(model.t_cr)
+    assert ir == pytest.approx(model.t_ir)
+
+
+def test_static_upper_bounds_fluid():
+    """Frozen shares never beat max-min reallocation."""
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    for seed in range(5):
+        rng = np.random.default_rng(seed)
+        n = 10
+        cl = simple_cluster(*[(rng.uniform(20, 200), rng.uniform(20, 200)) for _ in range(n)])
+        tasks = []
+        for i in range(20):
+            a, b = rng.choice(n, size=2, replace=False)
+            tasks.append(Flow(f"f{i}", int(a), int(b), float(rng.uniform(1, 32))))
+        t_static = StaticShareEvaluator(cl).run(tasks).makespan
+        t_fluid = FluidSimulator(cl).run(tasks).makespan
+        assert t_static >= t_fluid - 1e-9
+
+
+def test_static_agrees_with_fluid_on_uniform_repair():
+    """Homogeneous bandwidth: all sharers finish together, so exact match."""
+    ctx = make_repair_ctx(k=8, m=4, f=4)
+    for plan in (plan_centralized(ctx), plan_independent(ctx)):
+        t_static = StaticShareEvaluator(ctx.cluster).run(plan.tasks).makespan
+        t_fluid = FluidSimulator(ctx.cluster).run(plan.tasks).makespan
+        assert t_static == pytest.approx(t_fluid)

@@ -1,0 +1,64 @@
+"""Visualization/export tests."""
+
+import json
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.simnet.flows import DelayTask, Flow
+from repro.simnet.fluid import FluidSimulator
+from repro.simnet.viz import ascii_gantt, task_summary_rows, to_json
+
+
+def run_small(record_trace=False):
+    cl = Cluster([Node(0, 100, 100), Node(1, 100, 100), Node(2, 100, 100)])
+    tasks = [
+        Flow("first", 0, 1, 50.0),
+        DelayTask("compute", 0.25, deps=("first",)),
+        Flow("second", 1, 2, 25.0, deps=("compute",)),
+    ]
+    res = FluidSimulator(cl).run(tasks, record_trace=record_trace)
+    return res, tasks
+
+
+def test_gantt_renders_all_tasks_in_order():
+    res, tasks = run_small()
+    chart = ascii_gantt(res, tasks)
+    lines = chart.splitlines()
+    assert "first" in lines[2]
+    assert "second" in lines[-1]
+    assert "#" in lines[2]
+    assert ascii_gantt(res, []) == "(no tasks)"
+
+
+def test_gantt_truncates_long_plans():
+    cl = Cluster([Node(i, 100, 100) for i in range(10)])
+    tasks = [Flow(f"f{i:02d}", i % 9, (i % 9) + 1, 1.0) for i in range(50)]
+    res = FluidSimulator(cl).run(tasks)
+    chart = ascii_gantt(res, tasks, max_rows=10)
+    assert "more tasks" in chart
+
+
+def test_task_summary_rates():
+    res, tasks = run_small()
+    rows = task_summary_rows(res, tasks)
+    by = {r["task"]: r for r in rows}
+    assert by["first"]["mean_rate_mbps"] == pytest.approx(100.0)
+    assert by["compute"]["kind"] == "delay"
+    assert by["second"]["start_s"] == pytest.approx(0.75)
+
+
+def test_json_roundtrip_with_trace():
+    res, tasks = run_small(record_trace=True)
+    blob = json.loads(to_json(res, tasks))
+    assert blob["makespan_s"] == pytest.approx(res.makespan)
+    assert len(blob["tasks"]) == 3
+    assert blob["trace"]  # recorded
+    assert blob["bytes_sent_mb"]["0"] == pytest.approx(50.0)
+
+
+def test_json_without_trace():
+    res, tasks = run_small(record_trace=False)
+    blob = json.loads(to_json(res, tasks))
+    assert blob["trace"] == []

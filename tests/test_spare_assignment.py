@@ -1,0 +1,62 @@
+"""Spare-matching policy tests (rack preference, bandwidth tie-break)."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.ec.rs import RSCode
+from repro.system.coordinator import Coordinator
+
+
+def coordinator_with_racked_spares():
+    nodes = [Node(i, 100, 100, rack=i // 4) for i in range(8)]
+    cluster = Cluster(nodes)
+    coord = Coordinator(cluster, RSCode(2, 1), block_bytes=1024)
+    coord.add_spare(Node(8, 100, 150, rack=0))
+    coord.add_spare(Node(9, 100, 120, rack=0))
+    coord.add_spare(Node(10, 100, 200, rack=1))
+    return coord
+
+
+def test_same_rack_spare_preferred():
+    coord = coordinator_with_racked_spares()
+    out = coord._assign_spares([0], [8, 9, 10])
+    assert out == {0: 8}  # rack 0 spares win despite node 10's faster downlink
+
+
+def test_fastest_downlink_tiebreak_within_rack():
+    coord = coordinator_with_racked_spares()
+    out = coord._assign_spares([1], [9, 8, 10])
+    assert out == {1: 8}  # 150 > 120 among rack-0 spares
+
+
+def test_falls_back_to_other_racks():
+    coord = coordinator_with_racked_spares()
+    out = coord._assign_spares([4], [8, 9])  # dead in rack 1, only rack-0 spares
+    assert out == {4: 8}
+
+
+def test_assignment_is_injective():
+    coord = coordinator_with_racked_spares()
+    out = coord._assign_spares([0, 1, 4], [8, 9, 10])
+    assert len(set(out.values())) == 3
+    assert out[4] == 10  # the rack-1 spare goes to the rack-1 dead node
+
+
+def test_repair_uses_rack_matched_spare():
+    coord = coordinator_with_racked_spares()
+    import numpy as np
+
+    data = np.random.default_rng(0).integers(0, 256, 5000, dtype=np.uint8).tobytes()
+    coord.write("f", data)
+    victim = coord.layout.stripes[0].placement[0]
+    victim_rack = coord.cluster[victim].rack
+    coord.crash_node(victim)
+    report = coord.repair()
+    spare = report.replacements[victim]
+    same_rack_spares = [
+        s for s in (8, 9, 10) if coord.cluster[s].rack == victim_rack
+    ]
+    if same_rack_spares:
+        assert spare in same_rack_spares
+    assert coord.read("f") == data

@@ -1,0 +1,148 @@
+"""End-to-end coordinator tests: write / read / fail / detect / repair."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.bandwidth import make_wld
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.ec.rs import RSCode
+from repro.system.coordinator import Coordinator
+
+
+def make_system(n_data=18, n_spare=4, k=4, m=2, seed=0, rack_size=None, block_bytes=2048):
+    ds = make_wld(n_data + n_spare, "WLD-4x", seed=seed)
+    nodes = []
+    for i in range(n_data):
+        rack = i // rack_size if rack_size else 0
+        nodes.append(Node(i, float(ds.uplinks[i]), float(ds.downlinks[i]), rack=rack))
+    cluster = Cluster(nodes)
+    coord = Coordinator(cluster, RSCode(k, m), block_bytes=block_bytes, block_size_mb=16.0, rng=seed)
+    for j in range(n_spare):
+        i = n_data + j
+        rack = (i // rack_size) if rack_size else 0
+        coord.add_spare(Node(i, float(ds.uplinks[i]), float(ds.downlinks[i]), rack=rack))
+    return coord
+
+
+def payload(nbytes, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, size=nbytes, dtype=np.uint8).tobytes()
+
+
+def test_write_read_roundtrip():
+    coord = make_system()
+    data = payload(30_000)
+    receipt = coord.write("f1", data)
+    assert receipt.nbytes == 30_000
+    assert receipt.padded_bytes % (4 * 2048) == 0
+    assert coord.read("f1") == data
+
+
+def test_write_duplicate_name_rejected():
+    coord = make_system()
+    coord.write("f1", payload(100))
+    with pytest.raises(KeyError):
+        coord.write("f1", payload(100))
+    with pytest.raises(KeyError):
+        coord.read("nope")
+
+
+def test_write_distributes_blocks_to_distinct_nodes():
+    coord = make_system()
+    coord.write("f1", payload(10_000))
+    for stripe in coord.layout:
+        assert len(set(stripe.placement)) == stripe.n
+        assert all(n not in coord.spares for n in stripe.placement)
+
+
+def test_degraded_read_within_m_failures():
+    coord = make_system()
+    data = payload(50_000, seed=1)
+    coord.write("f1", data)
+    coord.crash_node(0)
+    coord.crash_node(1)
+    assert coord.read("f1") == data
+
+
+def test_read_fails_beyond_m_failures():
+    coord = make_system(k=4, m=2)
+    data = payload(8 * 2048, seed=2)  # exactly one stripe
+    coord.write("f1", data)
+    stripe = coord.layout.stripes[0]
+    for node in stripe.placement[:3]:  # 3 > m = 2
+        coord.crash_node(node)
+    with pytest.raises(IOError):
+        coord.read("f1")
+
+
+def test_heartbeat_failure_detection_flow():
+    coord = make_system()
+    coord.write("f1", payload(5_000))
+    coord.beat_alive(0.0)
+    coord.crash_node(3)
+    coord.beat_alive(50.0)
+    dead = coord.detect_failures(now=60.0)
+    assert dead == [3]
+    assert not coord.cluster[3].alive
+
+
+@pytest.mark.parametrize("scheme", ["cr", "ir", "hmbr"])
+def test_repair_restores_redundancy(scheme):
+    coord = make_system(seed=3)
+    data = payload(60_000, seed=3)
+    coord.write("f1", data)
+    coord.crash_node(0)  # crash_node marks the cluster node dead directly;
+    coord.crash_node(1)  # heartbeat detection is covered in its own test
+    report = coord.repair(scheme=scheme)
+    assert report.scheme == scheme
+    assert report.blocks_recovered >= 1
+    assert report.simulated_transfer_s > 0
+    assert coord.read("f1") == data
+    # repaired blocks now live on (previously) spare nodes
+    for sid in report.stripes_repaired:
+        stripe = next(s for s in coord.layout if s.stripe_id == sid)
+        assert all(coord.agents[n].alive for n in stripe.placement)
+
+
+def test_repair_is_idempotent():
+    coord = make_system(seed=4)
+    coord.write("f1", payload(20_000, seed=4))
+    coord.crash_node(2)
+    first = coord.repair(scheme="hmbr")
+    second = coord.repair(scheme="hmbr")
+    assert first.blocks_recovered >= 0
+    assert second.blocks_recovered == 0
+    assert second.stripes_repaired == []
+
+
+def test_repair_unknown_scheme():
+    coord = make_system()
+    with pytest.raises(ValueError):
+        coord.repair(scheme="bogus")
+
+
+def test_repair_requires_enough_spares():
+    coord = make_system(n_spare=1, seed=5)
+    coord.write("f1", payload(120_000, seed=5))
+    coord.crash_node(0)
+    coord.crash_node(1)
+    with pytest.raises(RuntimeError):
+        coord.repair()
+
+
+def test_repair_after_rack_failure_with_rack_layout():
+    coord = make_system(n_data=16, n_spare=4, rack_size=4, seed=6, k=4, m=2)
+    data = payload(40_000, seed=6)
+    coord.write("f1", data)
+    # kill two nodes of one rack (within m = 2)
+    coord.crash_node(0)
+    coord.crash_node(1)
+    report = coord.repair(scheme="hmbr")
+    assert coord.read("f1") == data
+    assert report.compute_s_total >= 0
+
+
+def test_block_bytes_must_be_word_aligned():
+    cluster = Cluster([Node(i, 100, 100) for i in range(8)])
+    with pytest.raises(ValueError):
+        Coordinator(cluster, RSCode(4, 2), block_bytes=1001)
