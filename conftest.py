@@ -1,0 +1,25 @@
+"""Repo-root pytest config: chaos-harness knobs.
+
+These options live here (not in ``tests/chaos/conftest.py``) because pytest
+only honors ``pytest_addoption`` in initial conftests — and the repo root is
+initial for every invocation, including the tier-1 `pytest -x -q` run.
+"""
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("chaos", "randomized fault-injection harness")
+    group.addoption(
+        "--chaos-iterations",
+        type=int,
+        default=20,
+        help="number of randomized fault schedules per chaos test (default 20)",
+    )
+    group.addoption(
+        "--chaos-seed",
+        type=int,
+        default=20230717,
+        help="master seed for chaos schedule generation; each iteration's "
+        "schedule seed is derived from it and baked into the test id, so a "
+        "failure replays with --chaos-seed=<master> (or by filtering -k on "
+        "the printed schedule seed)",
+    )

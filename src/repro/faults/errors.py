@@ -1,0 +1,76 @@
+"""Fault-injection exception hierarchy.
+
+Transient faults (dropped transfer, a flapping peer) are retryable against
+the *same* plan: the runtime backs off and resumes from the execution
+journal.  Fatal faults (a dead helper, a plan timeout) abort the in-flight
+plan; the coordinator re-plans around the surviving helpers.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class for every injected fault."""
+
+
+class TransientFault(FaultError):
+    """Retryable against the same plan (resume from the journal)."""
+
+
+class TransferDropped(TransientFault):
+    """An injected one-shot loss of the next transfer touching a target."""
+
+    def __init__(self, src: int, dst: int):
+        super().__init__(f"transfer {src}->{dst} dropped by fault injection")
+        self.src = src
+        self.dst = dst
+
+
+class NodeFlapping(TransientFault):
+    """A peer is inside an injected unresponsive window."""
+
+    def __init__(self, node: int, until: float):
+        super().__init__(f"node {node} unresponsive until t={until:.3f}")
+        self.node = node
+        self.until = until
+
+
+class DeadAgent(FaultError):
+    """An op touched an agent that was killed — the plan must be rebuilt."""
+
+    def __init__(self, node: int):
+        super().__init__(f"agent {node} is dead")
+        self.node = node
+
+
+class PlanTimeout(FaultError):
+    """The attempt exceeded the per-plan wall-clock budget."""
+
+    def __init__(self, elapsed: float, budget: float):
+        super().__init__(f"plan ran {elapsed:.3f}s > budget {budget:.3f}s")
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class RepairAborted(RuntimeError):
+    """Retries exhausted: the repair round gave up on a stripe."""
+
+    def __init__(self, stripe_id: int, attempts: int, last: Exception):
+        super().__init__(
+            f"stripe {stripe_id}: gave up after {attempts} attempts ({last})"
+        )
+        self.stripe_id = stripe_id
+        self.attempts = attempts
+        self.last = last
+
+
+class StripeUnrecoverable(RuntimeError):
+    """Fewer than k blocks of a stripe survive — no plan can exist."""
+
+    def __init__(self, stripe_id: int, surviving: int, k: int):
+        super().__init__(
+            f"stripe {stripe_id} unrecoverable: {surviving} surviving blocks < k={k}"
+        )
+        self.stripe_id = stripe_id
+        self.surviving = surviving
+        self.k = k

@@ -1,0 +1,144 @@
+"""The fault injector: a logical clock that fires scheduled faults.
+
+The injector owns simulated wall time (``now``).  The fault-aware runtime
+ticks it once per executed op; backoff sleeps and heartbeat-detection waits
+advance it in larger jumps.  Whenever the clock passes an event's time the
+event *fires*: the injector updates its own state (killed set, slowdown
+factors, flap windows, armed one-shot drops/delays) and queues the event for
+the caller, which applies data-plane side effects (``Agent.fail``).
+
+Transfer faults reach the data plane through :meth:`check_transfer`, which
+installs as :attr:`repro.system.bus.DataBus.fault_hook` via :meth:`attach`.
+With no injector attached the bus hook is ``None`` and every hot path is
+byte-for-byte identical to the fault-free system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.faults.errors import DeadAgent, NodeFlapping, TransferDropped
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+
+class FaultInjector:
+    """Deterministic, seed-replayable fault state machine."""
+
+    def __init__(self, schedule: FaultSchedule, tick_s: float = 0.001, start: float = 0.0):
+        self.schedule = schedule
+        self.tick_s = float(tick_s)
+        self.now = float(start)
+        self._pending: deque[FaultEvent] = deque(sorted(schedule))
+        self.fired: list[FaultEvent] = []
+        self._unapplied: deque[FaultEvent] = deque()
+        self.killed: set[int] = set()
+        self.slowdown_of: dict[int, float] = {}
+        self._flaps: list[tuple[float, float, int]] = []  # (start, end, node)
+        self._armed_drops: list[FaultEvent] = []
+        self._armed_delays: list[FaultEvent] = []
+        self.delay_accrued_s = 0.0
+        self.drops_consumed = 0
+        self.delays_consumed = 0
+
+    # ---------------------------------------------------------------- #
+    # clock
+    # ---------------------------------------------------------------- #
+    def advance(self, dt: float = 0.0) -> list[FaultEvent]:
+        """Move the clock forward and fire every event now due."""
+        if dt < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now += dt
+        newly: list[FaultEvent] = []
+        while self._pending and self._pending[0].time <= self.now:
+            ev = self._pending.popleft()
+            self._fire(ev)
+            newly.append(ev)
+        return newly
+
+    def tick(self) -> list[FaultEvent]:
+        """One op's worth of logical time."""
+        return self.advance(self.tick_s)
+
+    def _fire(self, ev: FaultEvent) -> None:
+        self.fired.append(ev)
+        self._unapplied.append(ev)
+        if ev.kind == "kill":
+            self.killed.add(ev.target)
+        elif ev.kind == "slow":
+            self.slowdown_of[ev.target] = ev.param
+        elif ev.kind == "flap":
+            self._flaps.append((ev.time, ev.time + ev.param, ev.target))
+        elif ev.kind == "drop":
+            self._armed_drops.append(ev)
+        elif ev.kind == "delay":
+            self._armed_delays.append(ev)
+
+    def drain_fired(self) -> list[FaultEvent]:
+        """Events fired since the last drain (for data-plane side effects)."""
+        out = list(self._unapplied)
+        self._unapplied.clear()
+        return out
+
+    # ---------------------------------------------------------------- #
+    # state queries
+    # ---------------------------------------------------------------- #
+    @property
+    def exhausted(self) -> bool:
+        """True once no future event can change behavior."""
+        return not self._pending and not self._armed_drops and not self._armed_delays
+
+    def next_event_time(self) -> float | None:
+        """Fire time of the next scheduled (not yet fired) event."""
+        return self._pending[0].time if self._pending else None
+
+    def is_killed(self, node: int) -> bool:
+        return node in self.killed
+
+    def flapping_until(self, node: int) -> float | None:
+        """End of an active flap window covering ``now``, else None."""
+        ends = [end for start, end, n in self._flaps if n == node and start <= self.now < end]
+        return max(ends) if ends else None
+
+    def responsive(self, node: int) -> bool:
+        """A node heartbeats unless it is dead or inside a flap window."""
+        return node not in self.killed and self.flapping_until(node) is None
+
+    def slowdown(self, node: int) -> float:
+        return self.slowdown_of.get(node, 1.0)
+
+    # ---------------------------------------------------------------- #
+    # transfer injection point (bus.fault_hook)
+    # ---------------------------------------------------------------- #
+    def check_transfer(self, src: int, dst: int, nbytes: int) -> None:
+        """Gate one transfer; raises a fault or silently delays it.
+
+        Armed delays apply first (they advance the clock, possibly firing
+        more events), then armed drops, then flap windows, then dead peers.
+        """
+        for ev in list(self._armed_delays):
+            if ev.target in (src, dst):
+                self._armed_delays.remove(ev)
+                self.delays_consumed += 1
+                self.delay_accrued_s += ev.param
+                self.advance(ev.param)
+        for ev in list(self._armed_drops):
+            if ev.target in (src, dst):
+                self._armed_drops.remove(ev)
+                self.drops_consumed += 1
+                raise TransferDropped(src, dst)
+        for node in (src, dst):
+            until = self.flapping_until(node)
+            if until is not None:
+                raise NodeFlapping(node, until)
+        for node in (src, dst):
+            if node in self.killed:
+                raise DeadAgent(node)
+
+    def attach(self, bus) -> None:
+        bus.fault_hook = self.check_transfer
+
+    def detach(self, bus) -> None:
+        # bound-method equality (not identity: each attribute access builds a
+        # fresh method object, so ``is`` would never match)
+        if bus.fault_hook == self.check_transfer:
+            bus.fault_hook = None

@@ -1,0 +1,485 @@
+"""Fault-aware repair runtime: retry, backoff, timeout, and re-planning.
+
+This is the degraded-repair state machine described in ``docs/FAULTS.md``:
+
+* the injector's logical clock ticks once per executed op, and every
+  responsive agent heartbeats on each tick;
+* a **transient** fault (dropped transfer, flapping peer) backs off
+  exponentially and *resumes* the same plan from its execution journal —
+  completed ops are never redone;
+* a **fatal** fault (dead helper, per-plan timeout) waits out the heartbeat
+  timeout so :class:`~repro.system.heartbeat.HeartbeatMonitor` confirms the
+  death, then re-plans the stripe from scratch over the surviving helpers
+  and fresh spares;
+* stripes already committed are never re-executed; rounds continue until no
+  stripe is missing blocks and no scheduled fault remains to fire.
+
+The runtime only ever *adds* behavior: it drives the same agents, bus, and
+planners as :meth:`repro.system.coordinator.Coordinator.repair`, and with an
+empty schedule it performs the identical op sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ec.stripe import block_name
+from repro.faults.errors import (
+    DeadAgent,
+    PlanTimeout,
+    RepairAborted,
+    StripeUnrecoverable,
+    TransientFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultEvent
+from repro.repair.context import RepairContext
+from repro.repair.executor import ExecutionJournal
+from repro.repair.plan import (
+    CombineOp,
+    ConcatOp,
+    RepairPlan,
+    SliceOp,
+    TransferOp,
+    rename_plan,
+)
+from repro.repair.validate import validate_plan
+from repro.simnet.fluid import FluidSimulator
+
+_MAX_ROUNDS = 32  # safety net: schedules are finite, rounds must terminate
+
+
+@dataclass
+class FaultRepairReport:
+    """Outcome of one fault-aware repair run."""
+
+    scheme: str
+    dead_nodes: list[int]
+    stripes_repaired: list[int]
+    blocks_recovered: int
+    rounds: int
+    attempts: dict[int, int] = field(default_factory=dict)  # stripe -> attempts
+    replans: int = 0
+    retries: int = 0
+    drops: int = 0
+    delay_s: float = 0.0
+    backoff_s: float = 0.0
+    detections: list[int] = field(default_factory=list)
+    events_fired: list[FaultEvent] = field(default_factory=list)
+    #: data-plane bytes actually copied between agents (== bus delta)
+    executed_transfer_bytes: int = 0
+    #: subset of the above belonging to attempts that were later aborted
+    wasted_transfer_bytes: int = 0
+    simulated_transfer_s: float = 0.0
+    #: MB the fluid simulator charged for the committed plans; conservation
+    #: demands this equal ``bytes_on_wire_mb_model`` (chaos tests assert it)
+    sim_bytes_mb: float = 0.0
+    per_stripe_transfer_s: dict[int, float] = field(default_factory=dict)
+    compute_s_total: float = 0.0
+    bytes_on_wire_mb_model: float = 0.0
+    replacements: dict[int, int] = field(default_factory=dict)
+
+
+def _op_nodes(op) -> tuple[int, ...]:
+    if isinstance(op, TransferOp):
+        return (op.src_node, op.dst_node)
+    if isinstance(op, (SliceOp, CombineOp, ConcatOp)):
+        return (op.node,)
+    raise TypeError(f"unknown op {op!r}")  # pragma: no cover - defensive
+
+
+class FaultRuntime:
+    """Drives one coordinator repair round under an injector."""
+
+    def __init__(
+        self,
+        coord,
+        injector: FaultInjector,
+        max_retries: int = 8,
+        base_backoff_s: float = 0.5,
+        plan_timeout_s: float | None = None,
+    ):
+        self.coord = coord
+        self.injector = injector
+        self.max_retries = max_retries
+        self.base_backoff_s = base_backoff_s
+        self.plan_timeout_s = plan_timeout_s
+        self._replacements: dict[int, int] | None = None
+        self._replacements_all: dict[int, int] = {}
+        self._events: list[FaultEvent] = []
+        self._detections: list[int] = []
+        self.replans = 0
+        self.retries = 0
+        self.backoff_s = 0.0
+        self.attempts: dict[int, int] = {}
+        self.committed_bytes = 0
+        self.wasted_bytes = 0
+
+    # ---------------------------------------------------------------- #
+    # fault plumbing
+    # ---------------------------------------------------------------- #
+    def _sync_fired(self) -> None:
+        """Apply data-plane side effects of every event fired since last sync.
+
+        Events can fire from explicit clock advances *and* from inside the
+        bus fault hook (a consumed delay moves the clock), so the runtime
+        drains the injector's fired queue rather than trusting any single
+        ``advance()`` return value.
+        """
+        for ev in self.injector.drain_fired():
+            self._events.append(ev)
+            agent = self.coord.agents.get(ev.target)
+            if agent is None:
+                continue
+            if ev.kind == "kill" and agent.alive:
+                agent.fail()
+            elif ev.kind == "slow":
+                agent.slowdown = ev.param
+
+    def _beat_responsive(self) -> None:
+        for i, agent in self.coord.agents.items():
+            if agent.alive and self.injector.responsive(i):
+                self.coord.monitor.beat(i, self.injector.now)
+
+    def _tick(self) -> None:
+        self.injector.tick()
+        self._sync_fired()
+        self._beat_responsive()
+
+    def _heartbeat_detect(self) -> list[int]:
+        """Wait out the heartbeat timeout and confirm deaths via the monitor."""
+        jump = self.coord.monitor.timeout + self.injector.tick_s
+        self.injector.advance(jump)
+        self._sync_fired()
+        self._beat_responsive()
+        dead = self.coord.detect_failures(self.injector.now)
+        for d in dead:
+            if d not in self._detections:
+                self._detections.append(d)
+        self._replacements = None  # the spare assignment must be recomputed
+        return dead
+
+    # ---------------------------------------------------------------- #
+    # planning
+    # ---------------------------------------------------------------- #
+    def _node_alive(self, node: int) -> bool:
+        return self.coord.cluster[node].alive and self.coord.agents[node].alive
+
+    def _refresh_replacements(self) -> dict[int, int]:
+        """One spare per dead node, shared by every stripe this round."""
+        coord = self.coord
+        dead = sorted(
+            i for i in coord.agents if not self._node_alive(i)
+        )
+        affected = coord.layout.stripes_with_failures(dead)
+        stripes = {s.stripe_id: s for s in coord.layout}
+        dead_with_blocks = sorted(
+            {stripes[sid].placement[b] for sid, blocks in affected.items() for b in blocks}
+        )
+        free = [
+            s
+            for s in coord.spares
+            if self._node_alive(s) and len(coord.agents[s].store) == 0
+        ]
+        if len(dead_with_blocks) > len(free):
+            raise RuntimeError(
+                f"{len(dead_with_blocks)} dead nodes but only {len(free)} free spares"
+            )
+        self._replacements = coord._assign_spares(dead_with_blocks, free)
+        self._replacements_all.update(self._replacements)
+        return self._replacements
+
+    def _build_ctx(self, sid: int) -> tuple[RepairContext, int] | None:
+        """Current repair context for a stripe, or None if it is healthy."""
+        coord = self.coord
+        stripe = next(s for s in coord.layout if s.stripe_id == sid)
+        failed = [
+            b
+            for b, node in enumerate(stripe.placement)
+            if not self._node_alive(node)
+            or not coord.agents[node].store.has(block_name(sid, b))
+        ]
+        if not failed:
+            return None
+        surviving = stripe.n - len(failed)
+        if surviving < coord.code.k or len(failed) > coord.code.m:
+            raise StripeUnrecoverable(sid, surviving, coord.code.k)
+        replacements = self._replacements or self._refresh_replacements()
+        new_nodes = [replacements[stripe.placement[b]] for b in failed]
+        ctx = RepairContext(
+            cluster=coord.cluster,
+            code=coord.code,
+            stripe=stripe,
+            failed_blocks=failed,
+            new_nodes=new_nodes,
+            block_size_mb=coord.block_size_mb,
+        )
+        center = coord.center_scheduler.pick(new_nodes)
+        return ctx, center
+
+    def _make_plan(self, ctx: RepairContext, center: int, scheme: str, p: float | None) -> RepairPlan:
+        from repro.repair.hybrid import plan_hybrid
+        from repro.system.coordinator import _PLANNERS
+
+        if scheme == "hmbr" and p is not None:
+            plan = plan_hybrid(ctx, center=center, p=p)
+        elif scheme == "auto":
+            from repro.repair.selector import choose_scheme
+
+            plan = choose_scheme(ctx).plan
+        else:
+            plan = _PLANNERS[scheme](ctx, center)
+        validate_plan(plan, ctx)
+        return plan
+
+    def _common_split(self, work: list[tuple[int, RepairContext, int]]) -> float | None:
+        """The §IV-C shared HMBR split over all stripes of one round.
+
+        Mirrors :meth:`Coordinator.repair` so an empty schedule reproduces
+        its exact plans; re-plans after mid-round failures fall back to the
+        per-stripe split.
+        """
+        if len(work) < 2:
+            return None
+        from repro.repair._build import add_centralized, add_independent
+        from repro.repair.split import scaled_split_tasks, search_split
+        from repro.repair.topology import build_chain_paths
+
+        cr_all, ir_all = [], []
+        for _, ctx, center in work:
+            cr_t, _, _ = add_centralized(ctx, ctx.prefix("h.cr"), 0.0, 1.0, center)
+            ir_t, _, _ = add_independent(
+                ctx, ctx.prefix("h.ir"), 0.0, 1.0, build_chain_paths(ctx)
+            )
+            cr_all.extend(cr_t)
+            ir_all.extend(ir_t)
+        p, _ = search_split(
+            lambda q: scaled_split_tasks(cr_all, ir_all, q), self.coord.cluster
+        )
+        return p
+
+    # ---------------------------------------------------------------- #
+    # execution
+    # ---------------------------------------------------------------- #
+    def _run_ops(self, ops, journal: ExecutionJournal, attempt_start: float) -> None:
+        coord = self.coord
+        agents, bus = coord.agents, coord.bus
+        for i in range(journal.completed, len(ops)):
+            op = ops[i]
+            self._tick()
+            if (
+                self.plan_timeout_s is not None
+                and self.injector.now - attempt_start > self.plan_timeout_s
+            ):
+                raise PlanTimeout(self.injector.now - attempt_start, self.plan_timeout_s)
+            for node in _op_nodes(op):
+                if not agents[node].alive:
+                    raise DeadAgent(node)
+            if isinstance(op, SliceOp):
+                agents[op.node].do_slice(op)
+            elif isinstance(op, TransferOp):
+                agents[op.src_node].send_to(agents[op.dst_node], op.name, op.rename, bus)
+                moved = agents[op.dst_node].scratch[op.rename or op.name]
+                journal.transfers += 1
+                journal.transfer_bytes += moved.nbytes
+            elif isinstance(op, CombineOp):
+                agents[op.node].do_combine(op)
+            elif isinstance(op, ConcatOp):
+                agents[op.node].do_concat(op)
+            journal.completed = i + 1
+
+    def _clear_scratch(self) -> None:
+        for agent in self.coord.agents.values():
+            if agent.alive:
+                agent.clear_scratch()
+
+    def _plan_touches_dead(self, plan: RepairPlan) -> bool:
+        return any(
+            not self.coord.agents[node].alive
+            for op in plan.ops
+            for node in _op_nodes(op)
+        )
+
+    def _repair_stripe(
+        self, sid: int, scheme: str, verify: bool, prebuilt: tuple[RepairContext, int] | None, p: float | None
+    ) -> RepairPlan | None:
+        """Repair one stripe to completion; returns the committed plan."""
+        coord = self.coord
+        journal = ExecutionJournal()
+        attempt = 0
+        plan: RepairPlan | None = None
+        ctx_center = prebuilt
+        attempt_start = self.injector.now
+        last_error: Exception | None = None
+        using_prebuilt = prebuilt is not None
+        while True:
+            if plan is None:
+                try:
+                    if ctx_center is None:
+                        built = self._build_ctx(sid)
+                        if built is None:  # healthy again (nothing to repair)
+                            return None
+                        ctx_center = built
+                    ctx, center = ctx_center
+                    plan = self._make_plan(ctx, center, scheme, p if using_prebuilt else None)
+                except ValueError:
+                    # a context prebuilt at round start can go stale while
+                    # earlier stripes repaired (helpers died since): rebuild
+                    if not using_prebuilt:
+                        raise
+                    using_prebuilt = False
+                    ctx_center = None
+                    continue
+                self.wasted_bytes += journal.transfer_bytes
+                journal.reset()
+                self._clear_scratch()
+                attempt_start = self.injector.now
+            try:
+                self._run_ops(plan.ops, journal, attempt_start)
+                self._sync_fired()  # a delay consumed by the last op may have fired kills
+                for node, _ in plan.outputs.values():
+                    if not coord.agents[node].alive:
+                        raise DeadAgent(node)  # repaired buffer died with its host
+                stripe = next(s for s in coord.layout if s.stripe_id == sid)
+                for fb, (node, buf) in plan.outputs.items():
+                    agent = coord.agents[node]
+                    agent.store_block(block_name(sid, fb), agent.scratch[buf], overwrite=True)
+                    stripe.placement[fb] = node
+                if verify and all(self._node_alive(n) for n in stripe.placement):
+                    # if another member died mid-plan the next round repairs
+                    # it; parity can only be re-checked once all are up
+                    coord._verify_stripe(sid)
+                self.committed_bytes += journal.transfer_bytes
+                self.attempts[sid] = self.attempts.get(sid, 0) + attempt + 1
+                return plan
+            except TransientFault as err:
+                last_error = err
+                attempt += 1
+                self.retries += 1
+                if attempt > self.max_retries:
+                    raise RepairAborted(sid, attempt, err) from err
+                backoff = self.base_backoff_s * 2 ** (attempt - 1)
+                flap_until = getattr(err, "until", None)
+                if flap_until is not None:
+                    # no point retrying inside the flap window
+                    backoff = max(backoff, flap_until - self.injector.now + self.injector.tick_s)
+                self.backoff_s += backoff
+                self.injector.advance(backoff)
+                self._sync_fired()
+                self._beat_responsive()
+                if self._plan_touches_dead(plan):
+                    # a helper died while we were backing off: re-plan
+                    self.replans += 1
+                    self._heartbeat_detect()
+                    plan, ctx_center, using_prebuilt = None, None, False
+            except (DeadAgent, PlanTimeout) as err:
+                last_error = err
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise RepairAborted(sid, attempt, err) from err
+                self.replans += 1
+                if isinstance(err, DeadAgent):
+                    self._heartbeat_detect()
+                plan, ctx_center, using_prebuilt = None, None, False
+
+    # ---------------------------------------------------------------- #
+    # entry point
+    # ---------------------------------------------------------------- #
+    def repair(self, scheme: str = "hmbr", verify: bool = True) -> FaultRepairReport:
+        coord = self.coord
+        injector = self.injector
+        from repro.system.coordinator import _PLANNERS
+
+        if scheme != "auto" and scheme not in _PLANNERS:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; choose from {sorted(_PLANNERS)} or 'auto'"
+            )
+        injector.attach(coord.bus)
+        compute_before = {i: a.compute_seconds for i, a in coord.agents.items()}
+        final_plans: list[tuple[int, RepairPlan]] = []
+        rounds = 0
+        try:
+            injector.advance(0.0)
+            self._sync_fired()
+            self._beat_responsive()
+            while True:
+                rounds += 1
+                self._sync_fired()
+                if rounds > _MAX_ROUNDS:  # pragma: no cover - safety net
+                    raise RuntimeError("fault-aware repair did not converge")
+                dead = coord.cluster.dead_ids()
+                affected = coord.layout.stripes_with_failures(dead)
+                if not affected:
+                    if any(
+                        not coord.agents[i].alive and coord.cluster[i].alive
+                        for i in coord.agents
+                    ):
+                        # silently-killed nodes: let the monitor confirm them
+                        self._heartbeat_detect()
+                        continue
+                    nxt = injector.next_event_time()
+                    if nxt is not None:
+                        # future scheduled faults: advance to them and re-check
+                        injector.advance(max(0.0, nxt - injector.now))
+                        self._sync_fired()
+                        self._beat_responsive()
+                        continue
+                    break
+                self._replacements = None  # one fresh spare map per round
+                work: list[tuple[int, RepairContext, int]] = []
+                for sid in sorted(affected):
+                    built = self._build_ctx(sid)
+                    if built is not None:
+                        work.append((sid, built[0], built[1]))
+                p = self._common_split(work) if scheme == "hmbr" else None
+                for sid, ctx, center in work:
+                    plan = self._repair_stripe(sid, scheme, verify, (ctx, center), p)
+                    if plan is not None:
+                        final_plans.append((sid, plan))
+        finally:
+            injector.detach(coord.bus)
+            self._clear_scratch()
+
+        # ---- timing plane: simulate the committed plans together
+        sim_tasks = []
+        per_stripe: dict[int, float] = {}
+        renamed: list[tuple[int, RepairPlan]] = []
+        for i, (sid, plan) in enumerate(final_plans):
+            rp = rename_plan(plan, f"rnd{i}:")
+            renamed.append((sid, rp))
+            sim_tasks.extend(rp.tasks)
+        makespan = 0.0
+        sim_bytes_mb = 0.0
+        if sim_tasks:
+            sim = FluidSimulator(coord.cluster).run(sim_tasks)
+            makespan = sim.makespan
+            sim_bytes_mb = sum(sim.bytes_sent.values())
+            for sid, rp in renamed:
+                t = max(sim.finish_times[t.task_id] for t in rp.tasks)
+                per_stripe[sid] = max(per_stripe.get(sid, 0.0), t)
+
+        return FaultRepairReport(
+            scheme=scheme,
+            dead_nodes=coord.cluster.dead_ids(),
+            stripes_repaired=sorted({sid for sid, _ in final_plans}),
+            blocks_recovered=sum(len(p.outputs) for _, p in final_plans),
+            rounds=rounds,
+            attempts=dict(self.attempts),
+            replans=self.replans,
+            retries=self.retries,
+            drops=injector.drops_consumed,
+            delay_s=injector.delay_accrued_s,
+            backoff_s=self.backoff_s,
+            detections=list(self._detections),
+            events_fired=list(self._events),
+            executed_transfer_bytes=self.committed_bytes + self.wasted_bytes,
+            wasted_transfer_bytes=self.wasted_bytes,
+            simulated_transfer_s=makespan,
+            sim_bytes_mb=sim_bytes_mb,
+            per_stripe_transfer_s=per_stripe,
+            compute_s_total=sum(
+                a.compute_seconds - compute_before[i] for i, a in coord.agents.items()
+            ),
+            bytes_on_wire_mb_model=sum(p.total_transfer_mb() for _, p in final_plans),
+            replacements=dict(self._replacements_all),
+        )

@@ -1,0 +1,139 @@
+"""Replayable fault schedules.
+
+A :class:`FaultSchedule` is an ordered list of ``(time, kind, target)``
+events — plus an optional per-kind parameter — that a
+:class:`~repro.faults.injector.FaultInjector` fires as the logical clock
+advances.  Schedules are plain data: they serialize to tuples, compare by
+value, and the randomized generator is fully determined by its seed, so any
+chaos-run failure replays from ``FaultSchedule.random(seed, ...)``.
+
+Event kinds
+-----------
+``kill``    target node dies at ``time``: its store and scratch are lost and
+            its heartbeats stop (param unused).
+``slow``    target node's GF compute is metered ``param``x slower from
+            ``time`` on (param: slowdown factor, default 4.0).
+``flap``    target node is unresponsive during ``[time, time + param)``:
+            transfers touching it fail transiently and it misses heartbeats
+            (param: window seconds, default 1.0).
+``drop``    one-shot: the next transfer touching target after ``time`` is
+            lost (param unused).
+``delay``   one-shot: the next transfer touching target after ``time`` is
+            delayed by ``param`` seconds of logical time (default 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+KINDS = ("kill", "slow", "flap", "drop", "delay")
+
+_DEFAULT_PARAM = {"kill": 0.0, "slow": 4.0, "flap": 1.0, "drop": 0.0, "delay": 1.0}
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault: fires when the logical clock reaches ``time``."""
+
+    time: float
+    kind: str
+    target: int
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if self.time < 0:
+            raise ValueError("event time must be >= 0")
+        if self.kind in ("flap", "delay") and self.param <= 0:
+            raise ValueError(f"{self.kind} needs a positive param (duration seconds)")
+        if self.kind == "slow" and self.param <= 1.0:
+            raise ValueError("slow needs a param (factor) > 1")
+
+
+class FaultSchedule:
+    """An immutable, time-sorted list of :class:`FaultEvent`."""
+
+    def __init__(self, events: list[FaultEvent] | None = None):
+        self.events: tuple[FaultEvent, ...] = tuple(sorted(events or []))
+
+    # ---------------------------------------------------------------- #
+    # constructors
+    # ---------------------------------------------------------------- #
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        return cls([])
+
+    @classmethod
+    def from_tuples(cls, tuples) -> "FaultSchedule":
+        """Build from ``(time, kind, target[, param])`` tuples."""
+        events = []
+        for tup in tuples:
+            time, kind, target = tup[0], tup[1], tup[2]
+            # unknown kinds fall through to FaultEvent's ValueError
+            param = tup[3] if len(tup) > 3 else _DEFAULT_PARAM.get(kind, 0.0)
+            events.append(FaultEvent(float(time), str(kind), int(target), float(param)))
+        return cls(events)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        targets: list[int],
+        n_events: int = 4,
+        horizon_s: float = 1.0,
+        max_kills: int = 1,
+        kinds: tuple[str, ...] = KINDS,
+    ) -> "FaultSchedule":
+        """A seed-determined random schedule over ``targets``.
+
+        At most ``max_kills`` of the events are kills (and each kill picks a
+        distinct target), so callers can bound how many *permanent* failures
+        a scenario adds and keep stripes recoverable.
+        """
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        kill_targets: list[int] = []
+        for _ in range(n_events):
+            kind = str(rng.choice(kinds))
+            if kind == "kill" and len(kill_targets) >= max_kills:
+                kind = "drop"  # downgrade the surplus kill to a transient
+            t = float(rng.uniform(0.0, horizon_s))
+            if kind == "kill":
+                pool = [n for n in targets if n not in kill_targets]
+                if not pool:
+                    continue
+                target = int(rng.choice(pool))
+                kill_targets.append(target)
+            else:
+                target = int(rng.choice(targets))
+            param = _DEFAULT_PARAM[kind]
+            if kind == "flap":
+                param = float(rng.uniform(0.2, 2.0))
+            elif kind == "delay":
+                param = float(rng.uniform(0.1, 1.0))
+            elif kind == "slow":
+                param = float(rng.uniform(2.0, 8.0))
+            events.append(FaultEvent(t, kind, target, param))
+        return cls(events)
+
+    # ---------------------------------------------------------------- #
+    def to_tuples(self) -> list[tuple[float, str, int, float]]:
+        return [(e.time, e.kind, e.target, e.param) for e in self.events]
+
+    def kills(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind == "kill"]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({list(self.events)!r})"

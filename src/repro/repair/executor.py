@@ -64,6 +64,26 @@ class Workspace:
 
 
 @dataclass
+class ExecutionJournal:
+    """Progress cursor for resumable plan execution.
+
+    ``completed`` counts ops already executed; a resumed run starts there
+    and never redoes finished work.  ``transfers``/``transfer_bytes`` meter
+    the transfer ops actually performed through this journal, which is what
+    the fault runtime reconciles against the data-bus byte counters.
+    """
+
+    completed: int = 0
+    transfers: int = 0
+    transfer_bytes: int = 0
+
+    def reset(self) -> None:
+        self.completed = 0
+        self.transfers = 0
+        self.transfer_bytes = 0
+
+
+@dataclass
 class ExecutionReport:
     """What happened when a plan ran."""
 
@@ -91,11 +111,21 @@ class PlanExecutor:
     def __init__(self, workspace: Workspace):
         self.ws = workspace
 
-    def execute(self, plan: RepairPlan, verify_against: dict[int, np.ndarray] | None = None) -> ExecutionReport:
+    def execute(
+        self,
+        plan: RepairPlan,
+        verify_against: dict[int, np.ndarray] | None = None,
+        journal: ExecutionJournal | None = None,
+    ) -> ExecutionReport:
         """Run all ops; optionally verify outputs bit-exactly.
 
         ``verify_against`` maps failed block index -> expected full buffer.
         Raises ``AssertionError`` on any mismatch (repair must be exact).
+
+        ``journal`` makes the run resumable: ops before ``journal.completed``
+        are skipped (their buffers are assumed present from the earlier,
+        interrupted run) and the cursor advances as each op finishes.  The
+        returned report meters only the ops executed by *this* call.
         """
         field_ = self.ws.field
         compute: dict[int, float] = {}
@@ -104,7 +134,9 @@ class PlanExecutor:
         gf_by_node: dict[int, int] = {}
         sent_elems: dict[int, int] = {}
 
-        for op in plan.ops:
+        start = journal.completed if journal is not None else 0
+        for op_index in range(start, len(plan.ops)):
+            op = plan.ops[op_index]
             if isinstance(op, SliceOp):
                 src = self.ws.get(op.node, op.src)
                 view = self.ws.word_slice(src, op.start, op.stop)
@@ -129,6 +161,11 @@ class PlanExecutor:
                 self.ws.buffers[(op.node, op.out)] = np.concatenate(parts)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown op {op!r}")
+            if journal is not None:
+                journal.completed = op_index + 1
+                if isinstance(op, TransferOp):
+                    journal.transfers += 1
+                    journal.transfer_bytes += data.size * data.itemsize
 
         outputs: dict[int, np.ndarray] = {}
         for fb, (node, name) in plan.outputs.items():

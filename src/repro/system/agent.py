@@ -37,6 +37,9 @@ class Agent:
         self.scratch: dict[str, np.ndarray] = {}
         self.compute_seconds = 0.0
         self.alive = True
+        #: metered compute multiplier; fault injection raises it to model a
+        #: degraded (slow-I/O) node.  1.0 = healthy.
+        self.slowdown = 1.0
 
     # -------------------------------------------------------------- #
     def _resolve(self, name: str) -> np.ndarray:
@@ -62,7 +65,7 @@ class Agent:
         srcs = [self._resolve(s) for s in op.srcs]
         t0 = time.perf_counter()
         self.scratch[op.out] = self.field.combine(op.coeffs, srcs)
-        self.compute_seconds += time.perf_counter() - t0
+        self.compute_seconds += (time.perf_counter() - t0) * self.slowdown
 
     def do_concat(self, op: ConcatOp) -> None:
         parts = [self._resolve(p) for p in op.parts]
@@ -70,8 +73,14 @@ class Agent:
 
     def send_to(self, other: "Agent", name: str, rename: str | None, bus: DataBus) -> None:
         data = self._resolve(name)
+        if data.nbytes:
+            bus.check(self.node_id, other.node_id, data.nbytes)  # fault gate, pre-copy
         other.scratch[rename or name] = data.copy()
-        bus.record(self.node_id, other.node_id, data.nbytes)
+        if data.nbytes:
+            # degenerate split fractions yield empty slices; the buffer must
+            # still arrive (downstream concats read it) but puts no bytes on
+            # the wire, and the bus meters only real traffic
+            bus.record(self.node_id, other.node_id, data.nbytes)
 
     def clear_scratch(self) -> None:
         self.scratch.clear()
@@ -83,9 +92,19 @@ class Agent:
         self.scratch.clear()
 
 
-def run_plan_ops(ops: list[Op], agents: dict[int, Agent], bus: DataBus) -> None:
-    """Dispatch a plan's ops to agents in order (the coordinator's job)."""
-    for op in ops:
+def run_plan_ops(
+    ops: list[Op], agents: dict[int, Agent], bus: DataBus, journal=None
+) -> None:
+    """Dispatch a plan's ops to agents in order (the coordinator's job).
+
+    ``journal`` (an :class:`repro.repair.executor.ExecutionJournal`, or any
+    object with a ``completed`` int) makes the run resumable: ops before
+    ``journal.completed`` are skipped and the counter advances as ops finish,
+    so a retried run never redoes completed work.
+    """
+    start = journal.completed if journal is not None else 0
+    for i in range(start, len(ops)):
+        op = ops[i]
         if isinstance(op, SliceOp):
             agents[op.node].do_slice(op)
         elif isinstance(op, TransferOp):
@@ -96,3 +115,5 @@ def run_plan_ops(ops: list[Op], agents: dict[int, Agent], bus: DataBus) -> None:
             agents[op.node].do_concat(op)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown op {op!r}")
+        if journal is not None:
+            journal.completed = i + 1

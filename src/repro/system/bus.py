@@ -4,11 +4,17 @@ In the prototype agents move data through Redis; here transfers are NumPy
 copies, but every transfer is metered (per sender/receiver and per rack
 boundary) so system-level traffic statistics match what the flow simulator
 charges for the same plan.
+
+The bus is also the transfer injection point for :mod:`repro.faults`: an
+attached injector installs :attr:`DataBus.fault_hook`, and :meth:`check`
+consults it *before* any bytes move.  With no hook installed both methods
+are byte-for-byte identical to the fault-free system.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 @dataclass
@@ -20,8 +26,18 @@ class DataBus:
     received_bytes: dict[int, int] = field(default_factory=dict)
     cross_rack_bytes: int = 0
     transfer_count: int = 0
+    #: optional fault-injection gate ``(src, dst, nbytes) -> None``; may raise
+    #: a :mod:`repro.faults.errors` fault to drop or delay the transfer.
+    fault_hook: Callable[[int, int, int], None] | None = None
+
+    def check(self, src: int, dst: int, nbytes: int) -> None:
+        """Gate a transfer about to happen (no-op unless a hook is attached)."""
+        if self.fault_hook is not None:
+            self.fault_hook(src, dst, nbytes)
 
     def record(self, src: int, dst: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError(f"transfer {src}->{dst}: nbytes must be positive, got {nbytes}")
         self.sent_bytes[src] = self.sent_bytes.get(src, 0) + nbytes
         self.received_bytes[dst] = self.received_bytes.get(dst, 0) + nbytes
         if self.rack_of and self.rack_of.get(src) != self.rack_of.get(dst):

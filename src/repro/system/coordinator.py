@@ -329,6 +329,51 @@ class Coordinator:
             replacements=replacement_of,
         )
 
+    def repair_with_faults(
+        self,
+        faults,
+        scheme: str = "hmbr",
+        *,
+        verify: bool = True,
+        max_retries: int = 8,
+        base_backoff_s: float = 0.5,
+        plan_timeout_s: float | None = None,
+        tick_s: float | None = None,
+    ):
+        """Like :meth:`repair`, but resilient to faults injected mid-repair.
+
+        ``faults`` is a :class:`repro.faults.schedule.FaultSchedule` (or an
+        already-constructed :class:`repro.faults.injector.FaultInjector`).
+        Helpers that die mid-transfer are confirmed through the heartbeat
+        monitor, the in-flight plan is aborted, and the stripe is re-planned
+        over the surviving helpers with exponential backoff between retries
+        (``base_backoff_s * 2**attempt``) and an optional per-plan timeout.
+        Transient faults (drops, flaps) resume the same plan from its
+        execution journal.  Returns a
+        :class:`repro.faults.runtime.FaultRepairReport`.
+
+        With an empty schedule this performs exactly the op sequence of
+        :meth:`repair` — the fault machinery is pay-for-what-you-use.
+        """
+        from repro.faults.injector import FaultInjector
+        from repro.faults.runtime import FaultRuntime
+        from repro.faults.schedule import FaultSchedule
+
+        if isinstance(faults, FaultSchedule):
+            injector = FaultInjector(faults, tick_s=tick_s if tick_s is not None else 0.001)
+        else:
+            injector = faults
+            if tick_s is not None:
+                injector.tick_s = tick_s
+        runtime = FaultRuntime(
+            self,
+            injector,
+            max_retries=max_retries,
+            base_backoff_s=base_backoff_s,
+            plan_timeout_s=plan_timeout_s,
+        )
+        return runtime.repair(scheme=scheme, verify=verify)
+
     def _assign_spares(self, dead_nodes: list[int], free_spares: list[int]) -> dict[int, int]:
         """Match each dead node to a replacement spare.
 

@@ -1,0 +1,52 @@
+"""Chaos-harness fixtures: seed fan-out and a small, fault-ready system.
+
+Iteration count and master seed come from the repo-root options
+``--chaos-iterations`` / ``--chaos-seed``.  Every iteration's schedule seed
+is derived deterministically from the master seed and appears in the test
+id, so a red run names the exact schedule to replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.bandwidth import make_wld
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.ec.rs import RSCode
+from repro.system.coordinator import Coordinator
+
+
+def pytest_generate_tests(metafunc):
+    if "chaos_seed" in metafunc.fixturenames:
+        iterations = metafunc.config.getoption("--chaos-iterations")
+        master = metafunc.config.getoption("--chaos-seed")
+        seeds = np.random.SeedSequence(master).generate_state(iterations).tolist()
+        metafunc.parametrize("chaos_seed", seeds, ids=[f"seed{s}" for s in seeds])
+
+
+@pytest.fixture
+def chaos_system():
+    """Factory: a coordinator sized so chaos kills stay recoverable.
+
+    (k=4, m=3) over 16 data nodes with 8 spares and a short heartbeat
+    timeout; one initial crash plus up to m-1 injected kills keeps every
+    stripe within the code's erasure budget.
+    """
+
+    def make(seed, n_data=16, n_spare=8, k=4, m=3, block_bytes=1024):
+        ds = make_wld(n_data + n_spare, "WLD-4x", seed=seed % (2**31))
+        nodes = [Node(i, float(ds.uplinks[i]), float(ds.downlinks[i])) for i in range(n_data)]
+        coord = Coordinator(
+            Cluster(nodes),
+            RSCode(k, m),
+            block_bytes=block_bytes,
+            block_size_mb=16.0,
+            rng=seed % (2**31),
+            heartbeat_timeout=5.0,
+        )
+        for j in range(n_spare):
+            i = n_data + j
+            coord.add_spare(Node(i, float(ds.uplinks[i]), float(ds.downlinks[i])))
+        return coord
+
+    return make

@@ -1,11 +1,18 @@
-"""Parity between the reference and vectorized max-min allocators."""
+"""Parity between the reference and vectorized max-min allocators, plus a
+seeded topology sweep pinning the fluid simulator against the §III-B1
+static-share model on real repair plans."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.repair.centralized import plan_centralized
+from repro.repair.hybrid import plan_hybrid
+from repro.repair.independent import plan_independent
 from repro.simnet.fluid import FluidSimulator, _Resource
+from repro.simnet.static import StaticShareEvaluator
+from tests.conftest import make_repair_ctx
 
 
 @st.composite
@@ -59,3 +66,57 @@ def test_allocation_is_feasible_and_maxmin(instance):
     for tid in tids:
         saturated = any(usage[r] >= caps[r] * (1 - 1e-6) for r in flows[tid])
         assert saturated, tid
+
+
+# --------------------------------------------------------------------- #
+# fluid vs static §III-B1 sweep
+# --------------------------------------------------------------------- #
+
+_SWEEP_SEEDS = [int(s) for s in np.random.SeedSequence(20230717).generate_state(50)]
+
+
+def _random_repair_ctx(seed, homogeneous=False):
+    """A random (k, m, f) repair instance on a random-bandwidth topology."""
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(3, 9))
+    m = int(rng.integers(2, 5))
+    f = int(rng.integers(1, m + 1))
+    n = k + m + f
+    if homogeneous:
+        ups = downs = None
+    else:
+        ups = rng.uniform(20, 200, size=n).tolist()
+        downs = rng.uniform(20, 200, size=n).tolist()
+    return make_repair_ctx(k=k, m=m, f=f, uplinks=ups, downlinks=downs)
+
+
+@pytest.mark.parametrize("seed", _SWEEP_SEEDS, ids=[f"topo{s}" for s in _SWEEP_SEEDS])
+def test_static_upper_bounds_fluid_across_topologies(seed):
+    """50 seeded topologies: frozen §III-B1 shares never beat max-min.
+
+    The static evaluator fixes every task's rate from global connection
+    counts; the fluid simulator re-runs max-min allocation at each
+    completion.  Rates can only improve as neighbors finish, so on every
+    CR / IR / hybrid plan the static makespan must upper-bound the fluid one.
+    """
+    ctx = _random_repair_ctx(seed)
+    static = StaticShareEvaluator(ctx.cluster)
+    fluid = FluidSimulator(ctx.cluster)
+    for plan in (plan_centralized(ctx), plan_independent(ctx), plan_hybrid(ctx)):
+        t_static = static.run(plan.tasks).makespan
+        t_fluid = fluid.run(plan.tasks).makespan
+        assert t_static >= t_fluid - 1e-9, (
+            f"topology seed {seed}: static {t_static} beat fluid {t_fluid}"
+        )
+
+
+@pytest.mark.parametrize("seed", _SWEEP_SEEDS[:10], ids=[f"topo{s}" for s in _SWEEP_SEEDS[:10]])
+def test_static_matches_fluid_on_homogeneous_topologies(seed):
+    """Uniform bandwidth: all sharers finish together, so the bound is tight."""
+    ctx = _random_repair_ctx(seed, homogeneous=True)
+    static = StaticShareEvaluator(ctx.cluster)
+    fluid = FluidSimulator(ctx.cluster)
+    for plan in (plan_centralized(ctx), plan_independent(ctx)):
+        t_static = static.run(plan.tasks).makespan
+        t_fluid = fluid.run(plan.tasks).makespan
+        assert t_static == pytest.approx(t_fluid), f"topology seed {seed}"

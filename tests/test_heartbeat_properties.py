@@ -1,0 +1,99 @@
+"""Property-based tests for :class:`repro.system.heartbeat.HeartbeatMonitor`.
+
+The monitor's contract has sharp edges that unit fixtures tend to miss: the
+timeout boundary is inclusive-alive (``now - t > timeout`` is dead, ``<=`` is
+alive), dead/alive must exactly partition the registered set, deregistering
+is always allowed (even for a node already past the timeout), and
+re-registering a dead node resurrects it.  Hypothesis sweeps those edges.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.system.heartbeat import HeartbeatMonitor
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+timeouts = st.floats(min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False)
+node_ids = st.integers(min_value=0, max_value=63)
+
+
+@given(
+    timeout=timeouts,
+    beats=st.dictionaries(node_ids, times, min_size=1, max_size=16),
+    now=times,
+)
+def test_dead_and_alive_partition_registered_nodes(timeout, beats, now):
+    """For any history and any clock, dead ∪ alive == registered, disjoint."""
+    mon = HeartbeatMonitor(timeout=timeout)
+    for nid, t in beats.items():
+        mon.register(nid, now=t)
+    dead = mon.dead_nodes(now)
+    alive = mon.alive_nodes(now)
+    assert set(dead) | set(alive) == set(beats)
+    assert set(dead) & set(alive) == set()
+    assert dead == sorted(dead) and alive == sorted(alive)
+
+
+@given(
+    timeout=st.integers(min_value=1, max_value=10_000),
+    last=st.integers(min_value=0, max_value=10**6),
+    nid=node_ids,
+)
+def test_beat_at_exactly_timeout_boundary_is_alive(timeout, last, nid):
+    """A node heard from exactly ``timeout`` ago is alive, not dead.
+
+    Integer-valued clocks keep ``now - last == timeout`` exact in floats, so
+    this probes the monitor's ``>`` vs ``<=`` boundary and not float round-off.
+    """
+    mon = HeartbeatMonitor(timeout=float(timeout))
+    mon.register(nid, now=float(last))
+    now = float(last + timeout)  # elapsed == timeout: the boundary
+    assert nid in mon.alive_nodes(now)
+    assert nid not in mon.dead_nodes(now)
+    # any time past the boundary flips it
+    assert nid in mon.dead_nodes(float(last + timeout + 1))
+
+
+@given(timeout=timeouts, last=times, nid=node_ids)
+def test_deregister_of_dead_node_removes_it_everywhere(timeout, last, nid):
+    """Deregistering works even when the node is already past the timeout."""
+    mon = HeartbeatMonitor(timeout=timeout)
+    mon.register(nid, now=last)
+    now = last + 2 * timeout + 1.0
+    assert nid in mon.dead_nodes(now)
+    mon.deregister(nid)
+    assert nid not in mon.dead_nodes(now)
+    assert nid not in mon.alive_nodes(now)
+    mon.deregister(nid)  # idempotent: deregistering twice is not an error
+
+
+@given(timeout=timeouts, last=times, nid=node_ids)
+def test_reregister_after_death_resurrects(timeout, last, nid):
+    """A replacement re-registered under the same id starts alive."""
+    mon = HeartbeatMonitor(timeout=timeout)
+    mon.register(nid, now=last)
+    now = last + 2 * timeout + 1.0
+    assert nid in mon.dead_nodes(now)
+    mon.register(nid, now=now)  # replacement spare takes over the id
+    assert nid in mon.alive_nodes(now)
+    assert nid not in mon.dead_nodes(now)
+
+
+@given(timeout=timeouts, nid=node_ids, now=times)
+def test_beat_requires_registration(timeout, nid, now):
+    mon = HeartbeatMonitor(timeout=timeout)
+    try:
+        mon.beat(nid, now)
+    except KeyError:
+        pass
+    else:
+        raise AssertionError("beat on an unregistered node must raise KeyError")
+    mon.register(nid, now=now)
+    mon.beat(nid, now)  # registered: fine
+    mon.deregister(nid)
+    try:
+        mon.beat(nid, now)
+    except KeyError:
+        pass
+    else:
+        raise AssertionError("beat after deregister must raise KeyError")
