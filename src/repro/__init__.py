@@ -11,6 +11,8 @@ Cloud Storage Systems with Wide-Stripe Erasure Coding"* (Yu et al., IPDPS
 * :mod:`repro.repair` — CR, IR, HMBR, rack-aware HMBR, multi-node scheduling,
 * :mod:`repro.system` — the coordinator/agent storage system (OpenEC/HDFS
   stand-in),
+* :mod:`repro.faults` — fault schedules, injection, and degraded repair,
+* :mod:`repro.obs` — opt-in spans, metrics, and repair-timeline export,
 * :mod:`repro.analysis` / :mod:`repro.experiments` — every table and figure
   of the paper's evaluation.
 
@@ -42,6 +44,7 @@ from repro.repair import (
     Workspace,
 )
 from repro.system import Coordinator
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.experiments import build_scenario, plan_for, transfer_time
 
 __all__ = [
@@ -71,6 +74,9 @@ __all__ = [
     "PlanExecutor",
     "Workspace",
     "Coordinator",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
     "build_scenario",
     "plan_for",
     "transfer_time",

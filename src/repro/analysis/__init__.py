@@ -6,7 +6,12 @@ from repro.analysis.failure_sim import (
     simulate_failure_ratio_placement,
     table1_grid,
 )
-from repro.analysis.breakdown import CostModel, RepairBreakdown, breakdown_for_plan
+from repro.analysis.breakdown import (
+    CostModel,
+    RepairBreakdown,
+    breakdown_for_plan,
+    breakdown_from_trace,
+)
 from repro.analysis.reliability import (
     StripeReliability,
     mttdl_markov,
@@ -24,6 +29,7 @@ __all__ = [
     "CostModel",
     "RepairBreakdown",
     "breakdown_for_plan",
+    "breakdown_from_trace",
     "StripeReliability",
     "mttdl_markov",
     "mttdl_closed_form_m1",

@@ -85,3 +85,68 @@ def breakdown_for_plan(
         other_s=compute_s + disk_s + cost.fixed_overhead_s,
         python_compute_s=report.total_compute_seconds,
     )
+
+
+def breakdown_from_trace(
+    tracer,
+    ctx: RepairContext,
+    *,
+    test_block_bytes: int,
+    cost: CostModel | None = None,
+    sim_label: str = "simulate",
+) -> RepairBreakdown:
+    """Build a Table II row from recorded spans instead of a live executor.
+
+    The observability path to the same numbers as :func:`breakdown_for_plan`:
+
+    * ``T_t`` is the makespan of the sim-domain root span named
+      ``sim_label`` (recorded by :meth:`FluidSimulator.run` when given a
+      tracer);
+    * GF bytes per node are summed from the ops-domain ``compute`` spans
+      inside the most recent ``execute`` span (recorded by
+      :class:`~repro.repair.executor.PlanExecutor`), then scaled and charged
+      to the same :class:`CostModel`;
+    * the scheme is read off the ``execute`` span itself.
+
+    ``tracer`` is a :class:`repro.obs.Tracer` that saw both the plan
+    execution and the fluid simulation of the same plan.  Given those, the
+    returned row is exactly the one :func:`breakdown_for_plan` computes —
+    the trace-vs-live equivalence tests assert it field for field.
+    """
+    cost = cost or CostModel()
+    executes = [s for s in tracer.spans if s.cat == "execute" and s.closed]
+    if not executes:
+        raise ValueError("trace contains no completed 'execute' span")
+    root = executes[-1]
+    sims = [
+        s for s in tracer.spans
+        if s.cat == "sim" and s.name == sim_label and s.closed
+    ]
+    if not sims:
+        raise ValueError(f"trace contains no sim-domain root span named {sim_label!r}")
+    makespan = sims[-1].args.get("makespan", sims[-1].t1)
+
+    gf_by_node: dict[int, int] = {}
+    python_s = 0.0
+    for s in tracer.spans:
+        if s.cat != "compute" or not s.closed:
+            continue
+        if s.t0 < root.t0 or s.t1 > root.t1:
+            continue  # belongs to an earlier execution on this tracer
+        node = s.args["node"]
+        gf_by_node[node] = gf_by_node.get(node, 0) + s.args["bytes"]
+        python_s += s.args["seconds"]
+
+    scale = (ctx.block_size_mb * 2**20) / test_block_bytes
+    max_node_bytes = max(gf_by_node.values(), default=0) * scale
+    compute_s = max_node_bytes / (cost.gf_throughput_gbps * 2**30)
+    disk_s = ctx.block_size_mb / cost.disk_read_mbps + ctx.block_size_mb / cost.disk_write_mbps
+    return RepairBreakdown(
+        scheme=root.args.get("scheme", root.name.partition(":")[2]),
+        k=ctx.code.k,
+        m=ctx.code.m,
+        f=ctx.f,
+        transfer_s=makespan,
+        other_s=compute_s + disk_s + cost.fixed_overhead_s,
+        python_compute_s=python_s,
+    )

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.breakdown import CostModel, breakdown_for_plan
+from repro.analysis.breakdown import CostModel, breakdown_from_trace
 from repro.ec.stripe import block_name
 from repro.experiments.common import build_scenario, format_table, plan_for
+from repro.obs import Tracer
 from repro.repair.executor import PlanExecutor, Workspace
+from repro.simnet.fluid import FluidSimulator
 
 DEFAULT_CASES = [(32, 4), (64, 8)]
 SCHEMES = ["cr", "ir", "hmbr"]
@@ -54,10 +56,18 @@ def run(
             ws.load_stripe(ctx.stripe, full)
             for node in sc.dead_nodes:
                 ws.drop_node(node)
-            report = PlanExecutor(ws).execute(
-                plan, verify_against={b: full[b] for b in ctx.failed_blocks}
+            # the Table II row is regenerated from recorded spans: the
+            # executor and the fluid simulator both write into one tracer,
+            # and breakdown_from_trace reads T_t / GF bytes back out of it
+            # (bit-identical to the live breakdown_for_plan path).
+            tracer = Tracer()
+            PlanExecutor(ws).execute(
+                plan,
+                verify_against={b: full[b] for b in ctx.failed_blocks},
+                tracer=tracer,
             )
-            bd = breakdown_for_plan(ctx, plan, report, test_block_bytes, cost)
+            FluidSimulator(ctx.cluster).run(plan.tasks, tracer=tracer)
+            bd = breakdown_from_trace(tracer, ctx, test_block_bytes=test_block_bytes, cost=cost)
             row = {
                 "scheme": plan.scheme,
                 "(k,m)": f"({k},{m})",

@@ -115,6 +115,11 @@ class FaultRuntime:
         self.committed_bytes = 0
         self.wasted_bytes = 0
 
+    @property
+    def _obs(self):
+        """The coordinator's observability session, if one is attached."""
+        return getattr(self.coord, "obs", None)
+
     # ---------------------------------------------------------------- #
     # fault plumbing
     # ---------------------------------------------------------------- #
@@ -126,8 +131,16 @@ class FaultRuntime:
         drains the injector's fired queue rather than trusting any single
         ``advance()`` return value.
         """
+        obs = self._obs
         for ev in self.injector.drain_fired():
             self._events.append(ev)
+            if obs is not None:
+                obs.metrics.counter("faults.fired").inc()
+                obs.metrics.counter(f"faults.fired.{ev.kind}").inc()
+                obs.tracer.instant(
+                    f"fault:{ev.kind}:{ev.target}", actor="faults", cat="fault",
+                    kind=ev.kind, target=ev.target, param=ev.param, t_sim=ev.time,
+                )
             agent = self.coord.agents.get(ev.target)
             if agent is None:
                 continue
@@ -153,9 +166,16 @@ class FaultRuntime:
         self._sync_fired()
         self._beat_responsive()
         dead = self.coord.detect_failures(self.injector.now)
+        obs = self._obs
         for d in dead:
             if d not in self._detections:
                 self._detections.append(d)
+                if obs is not None:
+                    obs.metrics.counter("heartbeat.misses").inc()
+                    obs.tracer.instant(
+                        f"detect:{d}", actor="coordinator", cat="detection",
+                        node=d, t_sim=self.injector.now,
+                    )
         self._replacements = None  # the spare assignment must be recomputed
         return dead
 
@@ -312,6 +332,7 @@ class FaultRuntime:
         attempt_start = self.injector.now
         last_error: Exception | None = None
         using_prebuilt = prebuilt is not None
+        obs = self._obs
         while True:
             if plan is None:
                 try:
@@ -334,6 +355,13 @@ class FaultRuntime:
                 journal.reset()
                 self._clear_scratch()
                 attempt_start = self.injector.now
+            att_span = None
+            if obs is not None:
+                att_span = obs.tracer.begin(
+                    f"stripe:{sid}:attempt:{attempt + 1}", actor="coordinator",
+                    cat="attempt", stripe=sid, attempt=attempt + 1,
+                    t_sim=self.injector.now,
+                )
             try:
                 self._run_ops(plan.ops, journal, attempt_start)
                 self._sync_fired()  # a delay consumed by the last op may have fired kills
@@ -351,8 +379,16 @@ class FaultRuntime:
                     coord._verify_stripe(sid)
                 self.committed_bytes += journal.transfer_bytes
                 self.attempts[sid] = self.attempts.get(sid, 0) + attempt + 1
+                if att_span is not None:
+                    obs.tracer.unwind(att_span)
+                    att_span.args["outcome"] = "committed"
                 return plan
             except TransientFault as err:
+                if att_span is not None:
+                    obs.tracer.unwind(att_span)
+                    att_span.args["outcome"] = f"transient:{type(err).__name__}"
+                if obs is not None:
+                    obs.metrics.counter("repair.retries").inc()
                 last_error = err
                 attempt += 1
                 self.retries += 1
@@ -364,20 +400,29 @@ class FaultRuntime:
                     # no point retrying inside the flap window
                     backoff = max(backoff, flap_until - self.injector.now + self.injector.tick_s)
                 self.backoff_s += backoff
+                if obs is not None:
+                    obs.metrics.histogram("repair.backoff_s").observe(backoff)
                 self.injector.advance(backoff)
                 self._sync_fired()
                 self._beat_responsive()
                 if self._plan_touches_dead(plan):
                     # a helper died while we were backing off: re-plan
                     self.replans += 1
+                    if obs is not None:
+                        obs.metrics.counter("repair.replans").inc()
                     self._heartbeat_detect()
                     plan, ctx_center, using_prebuilt = None, None, False
             except (DeadAgent, PlanTimeout) as err:
+                if att_span is not None:
+                    obs.tracer.unwind(att_span)
+                    att_span.args["outcome"] = type(err).__name__
                 last_error = err
                 attempt += 1
                 if attempt > self.max_retries:
                     raise RepairAborted(sid, attempt, err) from err
                 self.replans += 1
+                if obs is not None:
+                    obs.metrics.counter("repair.replans").inc()
                 if isinstance(err, DeadAgent):
                     self._heartbeat_detect()
                 plan, ctx_center, using_prebuilt = None, None, False
@@ -398,6 +443,13 @@ class FaultRuntime:
         compute_before = {i: a.compute_seconds for i, a in coord.agents.items()}
         final_plans: list[tuple[int, RepairPlan]] = []
         rounds = 0
+        obs = self._obs
+        root = None
+        if obs is not None:
+            root = obs.tracer.begin(
+                "repair-with-faults", actor="coordinator", cat="repair",
+                scheme=scheme,
+            )
         try:
             injector.advance(0.0)
             self._sync_fired()
@@ -426,19 +478,32 @@ class FaultRuntime:
                         continue
                     break
                 self._replacements = None  # one fresh spare map per round
-                work: list[tuple[int, RepairContext, int]] = []
-                for sid in sorted(affected):
-                    built = self._build_ctx(sid)
-                    if built is not None:
-                        work.append((sid, built[0], built[1]))
-                p = self._common_split(work) if scheme == "hmbr" else None
-                for sid, ctx, center in work:
-                    plan = self._repair_stripe(sid, scheme, verify, (ctx, center), p)
-                    if plan is not None:
-                        final_plans.append((sid, plan))
+                round_span = None
+                if obs is not None:
+                    round_span = obs.tracer.begin(
+                        f"round:{rounds}", actor="coordinator", cat="round",
+                        round=rounds, stripes=sorted(affected),
+                        t_sim=injector.now,
+                    )
+                try:
+                    work: list[tuple[int, RepairContext, int]] = []
+                    for sid in sorted(affected):
+                        built = self._build_ctx(sid)
+                        if built is not None:
+                            work.append((sid, built[0], built[1]))
+                    p = self._common_split(work) if scheme == "hmbr" else None
+                    for sid, ctx, center in work:
+                        plan = self._repair_stripe(sid, scheme, verify, (ctx, center), p)
+                        if plan is not None:
+                            final_plans.append((sid, plan))
+                finally:
+                    if round_span is not None:
+                        obs.tracer.unwind(round_span)
         finally:
             injector.detach(coord.bus)
             self._clear_scratch()
+            if root is not None:
+                obs.tracer.unwind(root)
 
         # ---- timing plane: simulate the committed plans together
         sim_tasks = []
@@ -451,14 +516,18 @@ class FaultRuntime:
         makespan = 0.0
         sim_bytes_mb = 0.0
         if sim_tasks:
-            sim = FluidSimulator(coord.cluster).run(sim_tasks)
+            sim = FluidSimulator(coord.cluster).run(
+                sim_tasks,
+                tracer=obs.tracer if obs is not None else None,
+                trace_label="simulate",
+            )
             makespan = sim.makespan
             sim_bytes_mb = sum(sim.bytes_sent.values())
             for sid, rp in renamed:
                 t = max(sim.finish_times[t.task_id] for t in rp.tasks)
                 per_stripe[sid] = max(per_stripe.get(sid, 0.0), t)
 
-        return FaultRepairReport(
+        report = FaultRepairReport(
             scheme=scheme,
             dead_nodes=coord.cluster.dead_ids(),
             stripes_repaired=sorted({sid for sid, _ in final_plans}),
@@ -483,3 +552,18 @@ class FaultRuntime:
             bytes_on_wire_mb_model=sum(p.total_transfer_mb() for _, p in final_plans),
             replacements=dict(self._replacements_all),
         )
+        if obs is not None:
+            m = obs.metrics
+            m.counter("repair.runs").inc()
+            m.counter("repair.blocks_recovered").inc(report.blocks_recovered)
+            m.gauge("repair.simulated_transfer_s").set(report.simulated_transfer_s)
+            m.gauge("repair.bytes_on_wire_mb_model").set(report.bytes_on_wire_mb_model)
+            m.gauge("faults.rounds").set(report.rounds)
+            m.gauge("faults.drops").set(report.drops)
+            m.gauge("faults.delay_s").set(report.delay_s)
+            m.gauge("faults.backoff_s").set(report.backoff_s)
+            if report.wasted_transfer_bytes:
+                m.counter("faults.wasted_transfer_bytes").inc(report.wasted_transfer_bytes)
+            for t in report.per_stripe_transfer_s.values():
+                m.histogram("repair.stripe_transfer_s").observe(t)
+        return report

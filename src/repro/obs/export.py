@@ -1,0 +1,95 @@
+"""Trace exporters: Chrome-trace JSON and JSONL.
+
+Two formats, both loadable without any tooling from this repo:
+
+* **Chrome trace** (``to_chrome_trace`` / ``write_chrome_trace``) — the
+  Trace Event Format consumed by ``chrome://tracing`` and
+  https://ui.perfetto.dev.  Ops-domain spans become complete (``"X"``)
+  events on one thread per actor under the ``data-plane`` process;
+  sim-domain spans become async (``"b"``/``"e"``) pairs under the
+  ``fluid-sim`` process, since concurrent flows legitimately overlap.
+  Timestamps are logical seconds scaled to microseconds (the format's
+  native unit), so the Perfetto timeline reads directly in simulated time.
+* **JSONL** (``write_spans_jsonl``) — one JSON object per span, for ad-hoc
+  analysis with ``jq`` or pandas.
+
+Exports are deterministic: actors are assigned thread ids in sorted order
+and span args are emitted with sorted keys.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import OPS_DOMAIN, SIM_DOMAIN, Tracer
+
+#: Chrome trace pids, one per clock domain.
+_PIDS = {OPS_DOMAIN: 1, SIM_DOMAIN: 2}
+_PROCESS_NAMES = {OPS_DOMAIN: "data-plane", SIM_DOMAIN: "fluid-sim"}
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Render a tracer's spans as a Trace Event Format document."""
+    events: list[dict] = []
+    # stable actor -> tid assignment per domain
+    tids: dict[tuple[str, str], int] = {}
+    for domain in (OPS_DOMAIN, SIM_DOMAIN):
+        actors = sorted({s.actor for s in tracer.spans if s.domain == domain})
+        pid = _PIDS[domain]
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": _PROCESS_NAMES[domain]}}
+        )
+        for i, actor in enumerate(actors):
+            tids[(domain, actor)] = i
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": pid, "tid": i,
+                 "args": {"name": actor}}
+            )
+    for span in tracer.spans:
+        if not span.closed:
+            raise ValueError(f"cannot export open span {span.name!r}")
+        pid = _PIDS[span.domain]
+        tid = tids[(span.domain, span.actor)]
+        common = {
+            "name": span.name,
+            "cat": span.cat,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(sorted(span.args.items())),
+        }
+        if span.domain == OPS_DOMAIN:
+            events.append(
+                {**common, "ph": "X", "ts": span.t0 * _US, "dur": span.duration * _US}
+            )
+        else:
+            sid = f"0x{span.span_id:x}"
+            events.append({**common, "ph": "b", "id": sid, "ts": span.t0 * _US})
+            events.append({**common, "ph": "e", "id": sid, "ts": span.t1 * _US})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> None:
+    """Write ``tracer`` as Chrome-trace JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(tracer), fh, sort_keys=True)
+        fh.write("\n")
+
+
+def write_spans_jsonl(tracer: Tracer, path) -> None:
+    """Write one JSON object per span to ``path`` (recording order)."""
+    with open(path, "w") as fh:
+        for span in tracer.spans:
+            row = {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "cat": span.cat,
+                "actor": span.actor,
+                "domain": span.domain,
+                "t0": span.t0,
+                "t1": span.t1,
+                "args": dict(sorted(span.args.items())),
+            }
+            fh.write(json.dumps(row, sort_keys=True) + "\n")

@@ -1,0 +1,167 @@
+"""Metric series: the aggregate half of :mod:`repro.obs`.
+
+A :class:`MetricsRegistry` holds named series of three kinds, mirroring the
+conventional Prometheus trio but with zero dependencies:
+
+* :class:`Counter` — monotonically increasing totals (bus bytes, transfer
+  counts, retries, heartbeat misses);
+* :class:`Gauge` — last-write-wins values (a repair's makespan, the HMBR
+  split ratio);
+* :class:`Histogram` — full distributions with exact quantiles (per-op GF
+  throughput, per-transfer sizes, backoff waits).  Runs are small enough
+  that observations are kept verbatim, which makes snapshots deterministic
+  and exact rather than bucket-approximated.
+
+Series names are dotted paths (``"bus.bytes"``, ``"repair.retries"``); one
+name is one series of one kind — re-registering a name as a different kind
+is an error.  :meth:`MetricsRegistry.snapshot` returns plain dicts and
+:meth:`MetricsRegistry.write_jsonl` emits one JSON object per series.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Counter:
+    """A monotone total.  ``inc`` by any non-negative amount."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value (``None`` until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """An exact distribution: every observation is kept."""
+
+    __slots__ = ("name", "observations")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.observations.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def total(self) -> float:
+        return sum(self.observations)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.observations else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact linear-interpolated quantile, ``0 <= q <= 1``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.observations:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        xs = sorted(self.observations)
+        pos = q * (len(xs) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(xs) - 1)
+        frac = pos - lo
+        return xs[lo] * (1 - frac) + xs[hi] * frac
+
+    def summary(self) -> dict:
+        if not self.observations:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.observations),
+            "max": max(self.observations),
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named series."""
+
+    def __init__(self):
+        self._series: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        series = self._series.get(name)
+        if series is None:
+            series = kind(name)
+            self._series[name] = series
+        elif not isinstance(series, kind):
+            raise TypeError(
+                f"series {name!r} is a {type(series).__name__}, not a {kind.__name__}"
+            )
+        return series
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{"counters": .., "gauges": .., "histograms": ..}``."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in self.names():
+            series = self._series[name]
+            if isinstance(series, Counter):
+                out["counters"][name] = series.value
+            elif isinstance(series, Gauge):
+                out["gauges"][name] = series.value
+            else:
+                out["histograms"][name] = series.summary()
+        return out
+
+    def write_jsonl(self, path) -> None:
+        """One JSON object per series: ``{"name", "kind", ...}``."""
+        with open(path, "w") as fh:
+            for name in self.names():
+                series = self._series[name]
+                if isinstance(series, Counter):
+                    row = {"name": name, "kind": "counter", "value": series.value}
+                elif isinstance(series, Gauge):
+                    row = {"name": name, "kind": "gauge", "value": series.value}
+                else:
+                    row = {"name": name, "kind": "histogram", **series.summary()}
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+
+    def reset(self) -> None:
+        self._series.clear()

@@ -1,0 +1,84 @@
+"""The observability session: one tracer + one registry, attachable to a system.
+
+:class:`Observability` bundles a :class:`~repro.obs.tracer.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry` and knows how to wire them into
+a live :class:`~repro.system.coordinator.Coordinator`:
+
+* :attr:`DataBus.obs_hook <repro.system.bus.DataBus.obs_hook>` — every
+  metered transfer becomes one ops-domain ``transfer`` span carrying its
+  byte count (so the trace conserves bytes against
+  :meth:`DataBus.total_bytes`), plus ``bus.*`` counters;
+* :attr:`Agent.obs_hook <repro.system.agent.Agent.obs_hook>` — every GF
+  combine becomes one ``compute`` span carrying its (slowdown-scaled)
+  seconds and bytes, plus ``gf.*`` series;
+* ``coord.obs = self`` — the coordinator and the fault runtime emit
+  structural spans (``repair``/``plan``/``dispatch``/``attempt``) and
+  repair/fault metrics around those hooks.
+
+Attachment follows the :mod:`repro.faults` precedent exactly: with no
+session attached every hook is ``None`` and the system is byte- and
+time-identical to an uninstrumented run (asserted by the invariant tests).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class Observability:
+    """A tracer + metrics pair that attaches to a coordinator."""
+
+    def __init__(self, tracer: Tracer | None = None, metrics: MetricsRegistry | None = None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -------------------------------------------------------------- #
+    # hook callbacks (installed on bus / agents)
+    # -------------------------------------------------------------- #
+    def on_transfer(self, src: int, dst: int, nbytes: int) -> None:
+        """Bus hook: one transfer span + byte accounting."""
+        self.tracer.tick_span(
+            f"xfer:{src}->{dst}", actor=f"node:{src}", cat="transfer",
+            src=src, dst=dst, bytes=nbytes,
+        )
+        m = self.metrics
+        m.counter("bus.bytes").inc(nbytes)
+        m.counter("bus.transfers").inc()
+        m.histogram("bus.transfer_bytes").observe(nbytes)
+
+    def on_compute(self, node: int, seconds: float, nbytes: int) -> None:
+        """Agent hook: one GF-combine span + throughput accounting."""
+        self.tracer.tick_span(
+            f"gf:{node}", actor=f"node:{node}", cat="compute",
+            node=node, seconds=seconds, bytes=nbytes,
+        )
+        m = self.metrics
+        m.counter("gf.seconds").inc(seconds)
+        m.counter("gf.bytes").inc(nbytes)
+        if seconds > 0:
+            m.histogram("gf.throughput_bps").observe(nbytes / seconds)
+
+    # -------------------------------------------------------------- #
+    # attachment
+    # -------------------------------------------------------------- #
+    def attach(self, coord) -> "Observability":
+        """Install hooks on a coordinator (idempotent for this session)."""
+        if getattr(coord, "obs", None) is self:
+            return self
+        if getattr(coord, "obs", None) is not None:
+            raise RuntimeError("another observability session is already attached")
+        coord.obs = self
+        coord.bus.obs_hook = self.on_transfer
+        for agent in coord.agents.values():
+            agent.obs_hook = self.on_compute
+        return self
+
+    def detach(self, coord) -> None:
+        """Remove this session's hooks (no-op if not attached)."""
+        if getattr(coord, "obs", None) is not self:
+            return
+        coord.obs = None
+        coord.bus.obs_hook = None
+        for agent in coord.agents.values():
+            agent.obs_hook = None

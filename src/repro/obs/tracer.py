@@ -1,0 +1,267 @@
+"""Span tracer: the timeline half of :mod:`repro.obs`.
+
+A :class:`Tracer` records :class:`Span` intervals in two clock domains:
+
+* ``"ops"`` — the data plane.  There is no wall clock here (agents copy
+  NumPy buffers instantly), so the tracer keeps its own *logical op clock*:
+  every instrumentation point advances it by :attr:`Tracer.tick_s` and spans
+  are laid out sequentially per actor.  Ops-domain spans must be **properly
+  nested and non-overlapping per actor** — :meth:`Tracer.validate` enforces
+  it, and the chaos-grade invariant tests rely on it.
+* ``"sim"`` — the timing plane.  Timestamps are the fluid simulator's
+  logical seconds (task start/finish times), recorded post-hoc by
+  :meth:`repro.simnet.fluid.FluidSimulator.run` when given a tracer.  Sim
+  spans are *interval* spans: flows legitimately overlap, so they are
+  exported as Chrome async events and exempt from the nesting check.
+
+Spans form a tree: :meth:`Tracer.begin`/:meth:`Tracer.end` maintain one
+open-span stack per actor and record parent links; :meth:`Tracer.add`
+records an already-closed span (hook call sites, sim timelines).  Export
+helpers live in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: clock domain of data-plane (logical op clock) spans
+OPS_DOMAIN = "ops"
+#: clock domain of fluid-simulator (simulated seconds) spans
+SIM_DOMAIN = "sim"
+
+_EPS = 1e-12
+
+
+class TraceError(RuntimeError):
+    """A span was misused: bad end order, unclosed span, or overlap."""
+
+
+@dataclass
+class Span:
+    """One traced interval ``[t0, t1)`` on an actor's timeline."""
+
+    span_id: int
+    name: str
+    cat: str
+    actor: str
+    t0: float
+    t1: float | None = None
+    domain: str = OPS_DOMAIN
+    parent_id: int | None = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.t1 is not None
+
+    @property
+    def duration(self) -> float:
+        if self.t1 is None:
+            raise TraceError(f"span {self.name!r} is still open")
+        return self.t1 - self.t0
+
+
+class Tracer:
+    """Collects spans against a monotone logical clock."""
+
+    def __init__(self, tick_s: float = 1.0):
+        self.tick_s = float(tick_s)
+        self.spans: list[Span] = []
+        self._now = 0.0
+        self._stacks: dict[str, list[Span]] = {}
+        self._next_id = 0
+
+    # -------------------------------------------------------------- #
+    # clock
+    # -------------------------------------------------------------- #
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float | None = None) -> float:
+        """Move the logical clock forward by ``dt`` (default one tick)."""
+        dt = self.tick_s if dt is None else dt
+        if dt < 0:
+            raise TraceError("cannot advance the trace clock backwards")
+        self._now += dt
+        return self._now
+
+    def sync(self, t: float) -> float:
+        """Fast-forward to an external logical time (never backwards)."""
+        self._now = max(self._now, float(t))
+        return self._now
+
+    # -------------------------------------------------------------- #
+    # span recording
+    # -------------------------------------------------------------- #
+    def _new_span(self, name, cat, actor, t0, t1, domain, parent_id, args) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            cat=cat,
+            actor=actor,
+            t0=t0,
+            t1=t1,
+            domain=domain,
+            parent_id=parent_id,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def begin(
+        self, name: str, *, actor: str = "coordinator", cat: str = "span",
+        ts: float | None = None, **args,
+    ) -> Span:
+        """Open a nested span on ``actor``'s stack (close with :meth:`end`)."""
+        t0 = self._now if ts is None else float(ts)
+        stack = self._stacks.setdefault(actor, [])
+        parent = stack[-1].span_id if stack else None
+        span = self._new_span(name, cat, actor, t0, None, OPS_DOMAIN, parent, args)
+        stack.append(span)
+        return span
+
+    def end(self, span: Span, *, ts: float | None = None, **args) -> Span:
+        """Close the innermost open span of ``span.actor`` (must be ``span``)."""
+        stack = self._stacks.get(span.actor, [])
+        if not stack or stack[-1] is not span:
+            raise TraceError(
+                f"span {span.name!r} is not the innermost open span of actor "
+                f"{span.actor!r} (improper nesting)"
+            )
+        stack.pop()
+        t1 = self._now if ts is None else float(ts)
+        if t1 < span.t0:
+            raise TraceError(f"span {span.name!r} would end before it started")
+        span.t1 = t1
+        span.args.update(args)
+        return span
+
+    def unwind(self, span: Span, *, ts: float | None = None) -> Span:
+        """End ``span``, first closing any open spans nested inside it.
+
+        The exception-path variant of :meth:`end`: a ``finally`` block can
+        close an outer span without knowing which children were interrupted.
+        """
+        stack = self._stacks.get(span.actor, [])
+        if span not in stack:
+            raise TraceError(f"span {span.name!r} is not open on actor {span.actor!r}")
+        while stack[-1] is not span:
+            self.end(stack[-1], ts=ts)
+        return self.end(span, ts=ts)
+
+    @contextmanager
+    def span(self, name: str, *, actor: str = "coordinator", cat: str = "span", **args):
+        """``with tracer.span(...) as s:`` — begin/end bracket, exception-safe."""
+        s = self.begin(name, actor=actor, cat=cat, **args)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    def add(
+        self, name: str, *, actor: str, cat: str, t0: float, t1: float,
+        domain: str = SIM_DOMAIN, parent: Span | None = None, **args,
+    ) -> Span:
+        """Record an already-closed span (hook call sites, sim timelines)."""
+        if t1 < t0:
+            raise TraceError(f"span {name!r}: t1 < t0")
+        if domain == OPS_DOMAIN:
+            stack = self._stacks.get(actor, [])
+            parent_id = stack[-1].span_id if stack else None
+        else:
+            parent_id = None
+        if parent is not None:
+            parent_id = parent.span_id
+        return self._new_span(name, cat, actor, float(t0), float(t1), domain, parent_id, args)
+
+    def tick_span(self, name: str, *, actor: str, cat: str, **args) -> Span:
+        """A one-tick ops-domain span at the current clock (advances it)."""
+        t0 = self._now
+        self.advance()
+        return self.add(name, actor=actor, cat=cat, t0=t0, t1=self._now,
+                        domain=OPS_DOMAIN, **args)
+
+    def instant(self, name: str, *, actor: str, cat: str = "instant", **args) -> Span:
+        """A zero-duration marker at the current clock."""
+        return self.add(name, actor=actor, cat=cat, t0=self._now, t1=self._now,
+                        domain=OPS_DOMAIN, **args)
+
+    # -------------------------------------------------------------- #
+    # queries
+    # -------------------------------------------------------------- #
+    def find(
+        self, *, cat: str | None = None, domain: str | None = None,
+        actor: str | None = None, name: str | None = None,
+    ) -> list[Span]:
+        """Spans matching every given filter, in recording order."""
+        out = []
+        for s in self.spans:
+            if cat is not None and s.cat != cat:
+                continue
+            if domain is not None and s.domain != domain:
+                continue
+            if actor is not None and s.actor != actor:
+                continue
+            if name is not None and s.name != name:
+                continue
+            out.append(s)
+        return out
+
+    def open_spans(self) -> list[Span]:
+        return [s for s in self.spans if not s.closed]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    # -------------------------------------------------------------- #
+    # invariants
+    # -------------------------------------------------------------- #
+    def validate(self) -> None:
+        """Check trace well-formedness; raises :class:`TraceError` on violation.
+
+        * every span is closed;
+        * ops-domain spans are properly nested and non-overlapping per actor
+          (two spans of one actor either nest or are disjoint).  Sim-domain
+          spans are interval spans (concurrent flows) and exempt.
+        """
+        open_ = self.open_spans()
+        if open_:
+            names = ", ".join(repr(s.name) for s in open_[:5])
+            raise TraceError(f"{len(open_)} unclosed span(s): {names}")
+        groups: dict[str, list[Span]] = {}
+        for s in self.spans:
+            if s.domain == OPS_DOMAIN:
+                groups.setdefault(s.actor, []).append(s)
+        for actor, spans in groups.items():
+            spans = sorted(spans, key=lambda s: (s.t0, -s.t1))
+            stack: list[float] = []
+            for s in spans:
+                while stack and stack[-1] <= s.t0 + _EPS:
+                    stack.pop()
+                if stack and s.t1 > stack[-1] + _EPS:
+                    raise TraceError(
+                        f"span {s.name!r} [{s.t0}, {s.t1}) overlaps an earlier "
+                        f"span on actor {actor!r} without nesting inside it"
+                    )
+                stack.append(s.t1)
+
+    # -------------------------------------------------------------- #
+    # export (delegates; see repro.obs.export)
+    # -------------------------------------------------------------- #
+    def to_chrome_trace(self) -> dict:
+        from repro.obs.export import to_chrome_trace
+
+        return to_chrome_trace(self)
+
+    def write_chrome_trace(self, path) -> None:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(self, path)
+
+    def write_jsonl(self, path) -> None:
+        from repro.obs.export import write_spans_jsonl
+
+        write_spans_jsonl(self, path)

@@ -116,6 +116,7 @@ class PlanExecutor:
         plan: RepairPlan,
         verify_against: dict[int, np.ndarray] | None = None,
         journal: ExecutionJournal | None = None,
+        tracer=None,
     ) -> ExecutionReport:
         """Run all ops; optionally verify outputs bit-exactly.
 
@@ -126,6 +127,12 @@ class PlanExecutor:
         are skipped (their buffers are assumed present from the earlier,
         interrupted run) and the cursor advances as each op finishes.  The
         returned report meters only the ops executed by *this* call.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records every executed op
+        as an ops-domain span — ``transfer`` spans carry bytes, ``compute``
+        spans carry GF seconds and bytes — under one ``execute:<scheme>``
+        root, which is what :func:`repro.analysis.breakdown.breakdown_from_trace`
+        consumes.  ``None`` (the default) changes nothing.
         """
         field_ = self.ws.field
         compute: dict[int, float] = {}
@@ -134,38 +141,69 @@ class PlanExecutor:
         gf_by_node: dict[int, int] = {}
         sent_elems: dict[int, int] = {}
 
-        start = journal.completed if journal is not None else 0
-        for op_index in range(start, len(plan.ops)):
-            op = plan.ops[op_index]
-            if isinstance(op, SliceOp):
-                src = self.ws.get(op.node, op.src)
-                view = self.ws.word_slice(src, op.start, op.stop)
-                self.ws.buffers[(op.node, op.out)] = view
-            elif isinstance(op, TransferOp):
-                data = self.ws.get(op.src_node, op.name)
-                self.ws.buffers[(op.dst_node, op.rename or op.name)] = data.copy()
-                moved_elems += data.size
-                sent_elems[op.src_node] = sent_elems.get(op.src_node, 0) + data.size
-            elif isinstance(op, CombineOp):
-                srcs = [self.ws.get(op.node, s) for s in op.srcs]
-                t0 = time.perf_counter()
-                out = field_.combine(op.coeffs, srcs)
-                dt = time.perf_counter() - t0
-                compute[op.node] = compute.get(op.node, 0.0) + dt
-                op_bytes = sum(s.size * s.itemsize for s in srcs)
-                gf_bytes += op_bytes
-                gf_by_node[op.node] = gf_by_node.get(op.node, 0) + op_bytes
-                self.ws.buffers[(op.node, op.out)] = out
-            elif isinstance(op, ConcatOp):
-                parts = [self.ws.get(op.node, p) for p in op.parts]
-                self.ws.buffers[(op.node, op.out)] = np.concatenate(parts)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown op {op!r}")
-            if journal is not None:
-                journal.completed = op_index + 1
-                if isinstance(op, TransferOp):
-                    journal.transfers += 1
-                    journal.transfer_bytes += data.size * data.itemsize
+        root = None
+        if tracer is not None:
+            root = tracer.begin(
+                f"execute:{plan.scheme}", actor="executor", cat="execute",
+                scheme=plan.scheme, ops=len(plan.ops),
+            )
+        try:
+            start = journal.completed if journal is not None else 0
+            for op_index in range(start, len(plan.ops)):
+                op = plan.ops[op_index]
+                if isinstance(op, SliceOp):
+                    src = self.ws.get(op.node, op.src)
+                    view = self.ws.word_slice(src, op.start, op.stop)
+                    self.ws.buffers[(op.node, op.out)] = view
+                    if tracer is not None:
+                        tracer.tick_span(
+                            f"slice:{op.out}", actor=f"node:{op.node}", cat="op",
+                            node=op.node, bytes=int(view.nbytes),
+                        )
+                elif isinstance(op, TransferOp):
+                    data = self.ws.get(op.src_node, op.name)
+                    self.ws.buffers[(op.dst_node, op.rename or op.name)] = data.copy()
+                    moved_elems += data.size
+                    sent_elems[op.src_node] = sent_elems.get(op.src_node, 0) + data.size
+                    if tracer is not None:
+                        tracer.tick_span(
+                            f"xfer:{op.src_node}->{op.dst_node}",
+                            actor=f"node:{op.src_node}", cat="transfer",
+                            src=op.src_node, dst=op.dst_node, bytes=int(data.nbytes),
+                        )
+                elif isinstance(op, CombineOp):
+                    srcs = [self.ws.get(op.node, s) for s in op.srcs]
+                    t0 = time.perf_counter()
+                    out = field_.combine(op.coeffs, srcs)
+                    dt = time.perf_counter() - t0
+                    compute[op.node] = compute.get(op.node, 0.0) + dt
+                    op_bytes = sum(s.size * s.itemsize for s in srcs)
+                    gf_bytes += op_bytes
+                    gf_by_node[op.node] = gf_by_node.get(op.node, 0) + op_bytes
+                    self.ws.buffers[(op.node, op.out)] = out
+                    if tracer is not None:
+                        tracer.tick_span(
+                            f"gf:{op.out}", actor=f"node:{op.node}", cat="compute",
+                            node=op.node, seconds=dt, bytes=op_bytes,
+                        )
+                elif isinstance(op, ConcatOp):
+                    parts = [self.ws.get(op.node, p) for p in op.parts]
+                    self.ws.buffers[(op.node, op.out)] = np.concatenate(parts)
+                    if tracer is not None:
+                        tracer.tick_span(
+                            f"concat:{op.out}", actor=f"node:{op.node}", cat="op",
+                            node=op.node,
+                        )
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown op {op!r}")
+                if journal is not None:
+                    journal.completed = op_index + 1
+                    if isinstance(op, TransferOp):
+                        journal.transfers += 1
+                        journal.transfer_bytes += data.size * data.itemsize
+        finally:
+            if root is not None:
+                tracer.end(root)
 
         outputs: dict[int, np.ndarray] = {}
         for fb, (node, name) in plan.outputs.items():

@@ -243,7 +243,42 @@ class FluidSimulator:
             return rates
 
     # -------------------------------------------------------------- #
-    def run(self, tasks: list[Task], events=(), record_trace: bool = False) -> SimulationResult:
+    @staticmethod
+    def _emit_spans(tracer, label, by_id, start_times, finish_times, makespan) -> None:
+        """Record a finished schedule as sim-domain spans on ``tracer``.
+
+        Flows are attributed to their first hop's source node; overlap is
+        expected (concurrent flows), so these are interval spans exported as
+        Chrome async events — see :mod:`repro.obs.export`.
+        """
+        root = tracer.add(
+            label, actor="net", cat="sim", t0=0.0, t1=makespan,
+            makespan=makespan, tasks=len(by_id),
+        )
+        for tid, t in by_id.items():
+            if isinstance(t, DelayTask):
+                actor, cat = "net", "sim-delay"
+                args = {"duration_s": t.duration_s}
+            else:
+                actor, cat = f"node:{t.hops[0][0]}", "sim-transfer"
+                args = {
+                    "size_mb": t.size_mb,
+                    "hops": [list(h) for h in t.hops],
+                    "tag": getattr(t, "tag", ""),
+                }
+            tracer.add(
+                tid, actor=actor, cat=cat,
+                t0=start_times[tid], t1=finish_times[tid], parent=root, **args,
+            )
+
+    def run(
+        self,
+        tasks: list[Task],
+        events=(),
+        record_trace: bool = False,
+        tracer=None,
+        trace_label: str = "simulate",
+    ) -> SimulationResult:
         """Simulate all tasks; returns completion times and traffic stats.
 
         ``events`` is an optional iterable of
@@ -251,6 +286,12 @@ class FluidSimulator:
         each event boundary (dynamic workloads, §VII of the paper).
         ``record_trace`` keeps the piecewise-constant rate timeline for
         post-hoc analysis (see :mod:`repro.simnet.trace`).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records the simulated
+        timeline post-hoc as sim-domain spans: one root span named
+        ``trace_label`` covering ``[0, makespan)`` plus one span per task at
+        its simulated start/finish times.  The simulation itself is
+        unaffected — timestamps are read from the finished schedule.
         """
         trace: list[tuple[float, float, dict[str, float]]] | None = (
             [] if record_trace else None
@@ -384,6 +425,9 @@ class FluidSimulator:
 
         if len(finish_times) != len(by_id):
             raise AssertionError("simulation ended with unscheduled tasks (dependency cycle?)")
+
+        if tracer is not None:
+            self._emit_spans(tracer, trace_label, by_id, start_times, finish_times, now)
 
         return SimulationResult(
             makespan=now,

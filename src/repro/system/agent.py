@@ -40,6 +40,10 @@ class Agent:
         #: metered compute multiplier; fault injection raises it to model a
         #: degraded (slow-I/O) node.  1.0 = healthy.
         self.slowdown = 1.0
+        #: optional observability tap ``(node, seconds, nbytes) -> None``;
+        #: called after each GF combine with the metered (slowdown-scaled)
+        #: seconds and the bytes fed through the kernel.
+        self.obs_hook = None
 
     # -------------------------------------------------------------- #
     def _resolve(self, name: str) -> np.ndarray:
@@ -65,7 +69,10 @@ class Agent:
         srcs = [self._resolve(s) for s in op.srcs]
         t0 = time.perf_counter()
         self.scratch[op.out] = self.field.combine(op.coeffs, srcs)
-        self.compute_seconds += (time.perf_counter() - t0) * self.slowdown
+        dt = (time.perf_counter() - t0) * self.slowdown
+        self.compute_seconds += dt
+        if self.obs_hook is not None:
+            self.obs_hook(self.node_id, dt, sum(s.nbytes for s in srcs))
 
     def do_concat(self, op: ConcatOp) -> None:
         parts = [self._resolve(p) for p in op.parts]

@@ -7,8 +7,10 @@ charges for the same plan.
 
 The bus is also the transfer injection point for :mod:`repro.faults`: an
 attached injector installs :attr:`DataBus.fault_hook`, and :meth:`check`
-consults it *before* any bytes move.  With no hook installed both methods
-are byte-for-byte identical to the fault-free system.
+consults it *before* any bytes move.  :mod:`repro.obs` observes transfers
+the same way: an attached session installs :attr:`DataBus.obs_hook`, called
+by :meth:`record` *after* a transfer is metered.  With no hooks installed
+both methods are byte-for-byte identical to the plain system.
 """
 
 from __future__ import annotations
@@ -29,6 +31,9 @@ class DataBus:
     #: optional fault-injection gate ``(src, dst, nbytes) -> None``; may raise
     #: a :mod:`repro.faults.errors` fault to drop or delay the transfer.
     fault_hook: Callable[[int, int, int], None] | None = None
+    #: optional observability tap ``(src, dst, nbytes) -> None``; called by
+    #: :meth:`record` after a transfer is metered (never raises by contract).
+    obs_hook: Callable[[int, int, int], None] | None = None
 
     def check(self, src: int, dst: int, nbytes: int) -> None:
         """Gate a transfer about to happen (no-op unless a hook is attached)."""
@@ -43,6 +48,8 @@ class DataBus:
         if self.rack_of and self.rack_of.get(src) != self.rack_of.get(dst):
             self.cross_rack_bytes += nbytes
         self.transfer_count += 1
+        if self.obs_hook is not None:
+            self.obs_hook(src, dst, nbytes)
 
     def total_bytes(self) -> int:
         return sum(self.sent_bytes.values())

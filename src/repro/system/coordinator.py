@@ -17,6 +17,12 @@ Data plane and timing plane are deliberately scale-decoupled: agents store
 small real buffers (``block_bytes``) while transfer times are simulated at
 the modeled ``block_size_mb`` (64 MB default), exactly like running the
 prototype with a scaled-down payload.
+
+An attached :class:`repro.obs.Observability` session (``obs.attach(coord)``)
+records every repair as a span tree (repair → plan → per-stripe dispatch →
+per-transfer/-combine hook spans, plus the simulated timeline) and feeds the
+``repair.*`` / ``bus.*`` / ``gf.*`` metric series; with no session attached
+every instrumentation point is a no-op and behavior is byte-identical.
 """
 
 from __future__ import annotations
@@ -110,6 +116,9 @@ class Coordinator:
         self.spares: list[int] = []
         self.center_scheduler = CenterScheduler()
         self._next_stripe_id = 0
+        #: optional :class:`repro.obs.Observability` session (see its
+        #: ``attach``); ``None`` means every instrumentation point is a no-op.
+        self.obs = None
 
     # -------------------------------------------------------------- #
     # membership
@@ -121,6 +130,8 @@ class Coordinator:
         self.monitor.register(node.node_id)
         self.bus.rack_of[node.node_id] = node.rack
         self.spares.append(node.node_id)
+        if self.obs is not None:
+            self.agents[node.node_id].obs_hook = self.obs.on_compute
 
     def data_nodes(self) -> list[int]:
         return [i for i in self.cluster.alive_ids() if i not in self.spares]
@@ -231,92 +242,128 @@ class Coordinator:
         if not affected:
             return RepairReport(dead, [], scheme, 0.0, 0.0, 0.0, 0.0, 0)
 
-        dead_with_blocks = sorted(
-            {s.placement[b] for s in self.layout for b in affected.get(s.stripe_id, []) if s.stripe_id in affected}
-        )
-        free_spares = [s for s in self.spares if self.cluster[s].alive and len(self.agents[s].store) == 0]
-        if len(dead_with_blocks) > len(free_spares):
-            raise RuntimeError(
-                f"{len(dead_with_blocks)} dead nodes but only {len(free_spares)} free spares"
+        obs = self.obs
+        root = None
+        if obs is not None:
+            root = obs.tracer.begin(
+                "repair", actor="coordinator", cat="repair",
+                scheme=scheme, dead_nodes=list(dead), stripes=sorted(affected),
             )
-        replacement_of = self._assign_spares(dead_with_blocks, free_spares)
-
-        stripes = {s.stripe_id: s for s in self.layout}
-        work: list[tuple[int, RepairContext, int]] = []
-        for sid, failed in sorted(affected.items()):
-            stripe = stripes[sid]
-            new_nodes = [replacement_of[stripe.placement[b]] for b in failed]
-            ctx = RepairContext(
-                cluster=self.cluster,
-                code=self.code,
-                stripe=stripe,
-                failed_blocks=failed,
-                new_nodes=new_nodes,
-                block_size_mb=self.block_size_mb,
+        try:
+            dead_with_blocks = sorted(
+                {s.placement[b] for s in self.layout for b in affected.get(s.stripe_id, []) if s.stripe_id in affected}
             )
-            center = self.center_scheduler.pick(new_nodes)
-            work.append((sid, ctx, center))
-
-        # For HMBR with several stripes repairing in parallel, a per-stripe
-        # split is miscalibrated (it ignores the other stripes on the same
-        # links); search one common p over the merged task graph instead.
-        common_p: float | None = None
-        if scheme == "hmbr" and len(work) > 1:
-            from repro.repair._build import add_centralized, add_independent
-            from repro.repair.split import scaled_split_tasks, search_split
-            from repro.repair.topology import build_chain_paths
-
-            cr_all, ir_all = [], []
-            for _, ctx, center in work:
-                cr_t, _, _ = add_centralized(ctx, ctx.prefix("h.cr"), 0.0, 1.0, center)
-                ir_t, _, _ = add_independent(
-                    ctx, ctx.prefix("h.ir"), 0.0, 1.0, build_chain_paths(ctx)
+            free_spares = [s for s in self.spares if self.cluster[s].alive and len(self.agents[s].store) == 0]
+            if len(dead_with_blocks) > len(free_spares):
+                raise RuntimeError(
+                    f"{len(dead_with_blocks)} dead nodes but only {len(free_spares)} free spares"
                 )
-                cr_all.extend(cr_t)
-                ir_all.extend(ir_t)
-            common_p, _ = search_split(
-                lambda q: scaled_split_tasks(cr_all, ir_all, q), self.cluster
+            replacement_of = self._assign_spares(dead_with_blocks, free_spares)
+
+            plan_span = None
+            if obs is not None:
+                plan_span = obs.tracer.begin(
+                    "plan", actor="coordinator", cat="plan", scheme=scheme,
+                )
+            stripes = {s.stripe_id: s for s in self.layout}
+            work: list[tuple[int, RepairContext, int]] = []
+            for sid, failed in sorted(affected.items()):
+                stripe = stripes[sid]
+                new_nodes = [replacement_of[stripe.placement[b]] for b in failed]
+                ctx = RepairContext(
+                    cluster=self.cluster,
+                    code=self.code,
+                    stripe=stripe,
+                    failed_blocks=failed,
+                    new_nodes=new_nodes,
+                    block_size_mb=self.block_size_mb,
+                )
+                center = self.center_scheduler.pick(new_nodes)
+                work.append((sid, ctx, center))
+
+            # For HMBR with several stripes repairing in parallel, a per-stripe
+            # split is miscalibrated (it ignores the other stripes on the same
+            # links); search one common p over the merged task graph instead.
+            common_p: float | None = None
+            if scheme == "hmbr" and len(work) > 1:
+                from repro.repair._build import add_centralized, add_independent
+                from repro.repair.split import scaled_split_tasks, search_split
+                from repro.repair.topology import build_chain_paths
+
+                cr_all, ir_all = [], []
+                for _, ctx, center in work:
+                    cr_t, _, _ = add_centralized(ctx, ctx.prefix("h.cr"), 0.0, 1.0, center)
+                    ir_t, _, _ = add_independent(
+                        ctx, ctx.prefix("h.ir"), 0.0, 1.0, build_chain_paths(ctx)
+                    )
+                    cr_all.extend(cr_t)
+                    ir_all.extend(ir_t)
+                common_p, _ = search_split(
+                    lambda q: scaled_split_tasks(cr_all, ir_all, q), self.cluster
+                )
+
+            all_tasks = []
+            plans: list[tuple[int, RepairPlan, RepairContext]] = []
+            for sid, ctx, center in work:
+                if scheme == "hmbr" and common_p is not None:
+                    plan = plan_hybrid(ctx, center=center, p=common_p)
+                elif scheme == "auto":
+                    from repro.repair.selector import choose_scheme
+
+                    plan = choose_scheme(ctx).plan
+                else:
+                    plan = _PLANNERS[scheme](ctx, center)
+                validate_plan(plan, ctx)  # refuse to dispatch an inconsistent solution
+                plans.append((sid, plan, ctx))
+                all_tasks.extend(plan.tasks)
+            if plan_span is not None:
+                obs.tracer.end(
+                    plan_span,
+                    stripes=len(plans),
+                    tasks=len(all_tasks),
+                    ops=sum(len(p.ops) for _, p, _ in plans),
+                    common_p=common_p,
+                )
+
+            # ---- data plane: dispatch ops to agents, commit repaired blocks
+            compute_before = {i: a.compute_seconds for i, a in self.agents.items()}
+            for sid, plan, ctx in plans:
+                stripe_span = None
+                if obs is not None:
+                    stripe_span = obs.tracer.begin(
+                        f"stripe:{sid}", actor="coordinator", cat="dispatch",
+                        stripe=sid, scheme=plan.scheme, ops=len(plan.ops),
+                    )
+                try:
+                    run_plan_ops(plan.ops, self.agents, self.bus)
+                    for fb, (node, buf) in plan.outputs.items():
+                        agent = self.agents[node]
+                        repaired = agent.scratch[buf]
+                        agent.store_block(block_name(sid, fb), repaired, overwrite=True)
+                        stripes[sid].placement[fb] = node
+                    if verify:
+                        self._verify_stripe(sid)
+                finally:
+                    if stripe_span is not None:
+                        obs.tracer.end(stripe_span)
+            for agent in self.agents.values():
+                agent.clear_scratch()
+
+            # ---- timing plane: simulate all plans together
+            sim = FluidSimulator(self.cluster).run(
+                all_tasks, tracer=obs.tracer if obs is not None else None,
             )
-
-        all_tasks = []
-        plans: list[tuple[int, RepairPlan, RepairContext]] = []
-        for sid, ctx, center in work:
-            if scheme == "hmbr" and common_p is not None:
-                plan = plan_hybrid(ctx, center=center, p=common_p)
-            elif scheme == "auto":
-                from repro.repair.selector import choose_scheme
-
-                plan = choose_scheme(ctx).plan
-            else:
-                plan = _PLANNERS[scheme](ctx, center)
-            validate_plan(plan, ctx)  # refuse to dispatch an inconsistent solution
-            plans.append((sid, plan, ctx))
-            all_tasks.extend(plan.tasks)
-
-        # ---- data plane: dispatch ops to agents, commit repaired blocks
-        compute_before = {i: a.compute_seconds for i, a in self.agents.items()}
-        for sid, plan, ctx in plans:
-            run_plan_ops(plan.ops, self.agents, self.bus)
-            for fb, (node, buf) in plan.outputs.items():
-                agent = self.agents[node]
-                repaired = agent.scratch[buf]
-                agent.store_block(block_name(sid, fb), repaired, overwrite=True)
-                stripes[sid].placement[fb] = node
-            if verify:
-                self._verify_stripe(sid)
-        for agent in self.agents.values():
-            agent.clear_scratch()
-
-        # ---- timing plane: simulate all plans together
-        sim = FluidSimulator(self.cluster).run(all_tasks)
-        per_stripe = {}
-        for sid, plan, _ in plans:
-            per_stripe[sid] = max(sim.finish_times[t.task_id] for t in plan.tasks)
+            per_stripe = {}
+            for sid, plan, _ in plans:
+                per_stripe[sid] = max(sim.finish_times[t.task_id] for t in plan.tasks)
+        finally:
+            if root is not None:
+                obs.tracer.unwind(root)
 
         compute_by_node = {
             i: a.compute_seconds - compute_before[i] for i, a in self.agents.items()
         }
-        return RepairReport(
+        report = RepairReport(
             dead_nodes=dead,
             stripes_repaired=sorted(affected),
             scheme=scheme,
@@ -328,6 +375,16 @@ class Coordinator:
             per_stripe_transfer_s=per_stripe,
             replacements=replacement_of,
         )
+        if obs is not None:
+            m = obs.metrics
+            m.counter("repair.runs").inc()
+            m.counter("repair.blocks_recovered").inc(report.blocks_recovered)
+            m.gauge("repair.simulated_transfer_s").set(report.simulated_transfer_s)
+            m.gauge("repair.compute_s_total").set(report.compute_s_total)
+            m.gauge("repair.bytes_on_wire_mb_model").set(report.bytes_on_wire_mb_model)
+            for t in report.per_stripe_transfer_s.values():
+                m.histogram("repair.stripe_transfer_s").observe(t)
+        return report
 
     def repair_with_faults(
         self,

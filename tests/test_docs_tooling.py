@@ -1,0 +1,77 @@
+"""The CI docs gates must pass on the tree as committed.
+
+Runs the two ``tools/`` checkers exactly as the CI docs job does, so a
+broken doc link or a docstring-coverage regression fails locally before it
+fails in CI — and exercises their failure modes against synthetic trees.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# must match the ratchet floor in .github/workflows/ci.yml (ratchet-only:
+# raise both together when coverage improves, never lower them)
+COVERAGE_FLOOR = 71.7
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, *argv], cwd=REPO, capture_output=True, text=True
+    )
+
+
+def test_no_dead_links_in_docs():
+    res = _run("tools/check_links.py")
+    assert res.returncode == 0, res.stdout + res.stderr
+
+
+def test_docstring_coverage_meets_floor():
+    res = _run("tools/docstring_coverage.py", "--min", str(COVERAGE_FLOOR))
+    assert res.returncode == 0, res.stdout + res.stderr
+
+
+def test_link_checker_catches_missing_target(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/real.md)\n[broken](docs/nope.md)\n[ext](https://example.com)\n"
+    )
+    (tmp_path / "docs" / "real.md").write_text("# Real\n")
+    res = _run("tools/check_links.py", str(tmp_path))
+    assert res.returncode == 1
+    assert "docs/nope.md" in res.stdout
+    assert "example.com" not in res.stdout
+
+
+def test_link_checker_checks_anchors(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "# My Title\n[good](#my-title)\n[bad](#no-such-heading)\n"
+    )
+    res = _run("tools/check_links.py", str(tmp_path))
+    assert res.returncode == 1
+    assert "no-such-heading" in res.stdout
+    assert "#my-title" not in res.stdout
+
+
+def test_coverage_gate_fails_below_floor(tmp_path):
+    (tmp_path / "undocumented.py").write_text("def public():\n    pass\n")
+    res = _run("tools/docstring_coverage.py", "--min", "50", str(tmp_path))
+    assert res.returncode == 1
+    assert "FAIL" in res.stdout
+    assert "public" in res.stdout
+
+
+def test_coverage_gate_ignores_private_and_init(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        '"""Module doc."""\n'
+        "class C:\n"
+        '    """Class doc."""\n'
+        "    def __init__(self):\n"
+        "        pass\n"
+        "    def _private(self):\n"
+        "        pass\n"
+    )
+    res = _run("tools/docstring_coverage.py", "--min", "100", str(tmp_path))
+    assert res.returncode == 0, res.stdout + res.stderr

@@ -1,0 +1,265 @@
+"""Observability invariants: conservation, nesting, and bit-exactness.
+
+The three guarantees ISSUE-level acceptance rests on:
+
+* **byte conservation** — the sum of ``transfer`` span byte args equals
+  :meth:`DataBus.total_bytes` exactly (every metered copy produced exactly
+  one span, and nothing else did);
+* **well-formedness** — every span closes, and ops-domain spans are
+  properly nested per actor, even through fault/retry/abort paths;
+* **zero observer effect** — a run with a session attached is byte- and
+  value-identical to the same run without one (wall-clock compute seconds
+  excepted: they are real time and differ run to run by nature).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.ec.rs import RSCode
+from repro.faults.schedule import FaultSchedule
+from repro.obs import Observability, OPS_DOMAIN, SIM_DOMAIN
+from repro.system.coordinator import Coordinator
+
+K, M, BLOCK_BYTES = 4, 2, 8192
+
+
+def _build():
+    """The pinned fixture from test_metering_regression: fully deterministic."""
+    coord = Coordinator(
+        Cluster([Node(i, 100.0, 100.0) for i in range(12)]),
+        RSCode(K, M),
+        block_bytes=BLOCK_BYTES,
+        block_size_mb=16.0,
+        rng=1234,
+        heartbeat_timeout=5.0,
+    )
+    for j in range(4):
+        coord.add_spare(Node(12 + j, 100.0, 100.0))
+    data = np.random.default_rng(99).integers(0, 256, size=65_536, dtype=np.uint8).tobytes()
+    coord.write("f", data)
+    return coord, data
+
+
+def _crash_two(coord):
+    stripe0 = next(s for s in coord.layout if s.stripe_id == 0)
+    for v in stripe0.placement[:2]:
+        coord.crash_node(v)
+
+
+def _schedule():
+    return FaultSchedule.from_tuples(
+        [
+            (0.0, "kill", 2),
+            (0.5, "drop", 5),
+            (1.0, "flap", 6, 2.0),
+            (1.5, "delay", 7, 0.8),
+        ]
+    )
+
+
+# Deterministic FaultRepairReport fields (everything except wall-clock
+# compute_s_total, and events_fired whose dataclass instances compare fine).
+_FAULT_REPORT_FIELDS = [
+    "scheme", "dead_nodes", "stripes_repaired", "blocks_recovered", "rounds",
+    "attempts", "replans", "retries", "drops", "delay_s", "backoff_s",
+    "detections", "events_fired", "executed_transfer_bytes",
+    "wasted_transfer_bytes", "simulated_transfer_s", "sim_bytes_mb",
+    "per_stripe_transfer_s", "bytes_on_wire_mb_model", "replacements",
+]
+
+
+@pytest.mark.parametrize("scheme", ["cr", "ir", "hmbr"])
+def test_disabled_hooks_are_bit_exact(scheme):
+    """An attached session must not change a healthy repair's outputs at all."""
+    c1, data = _build()
+    _crash_two(c1)
+    r1 = c1.repair(scheme=scheme)
+
+    c2, _ = _build()
+    _crash_two(c2)
+    Observability().attach(c2)
+    r2 = c2.repair(scheme=scheme)
+
+    for f in ("scheme", "dead_nodes", "stripes_repaired", "blocks_recovered",
+              "simulated_transfer_s", "bytes_on_wire_mb_model",
+              "per_stripe_transfer_s", "replacements"):
+        assert getattr(r1, f) == getattr(r2, f), f
+    assert c1.bus.total_bytes() == c2.bus.total_bytes()
+    assert c1.bus.sent_bytes == c2.bus.sent_bytes
+    assert c1.bus.received_bytes == c2.bus.received_bytes
+    assert c1.bus.transfer_count == c2.bus.transfer_count
+    assert c2.read("f") == data
+
+
+def test_disabled_hooks_are_bit_exact_under_faults():
+    """Same guarantee through the fault runtime's retry/replan machinery."""
+    c1, data = _build()
+    r1 = c1.repair_with_faults(_schedule(), scheme="hmbr")
+
+    c2, _ = _build()
+    Observability().attach(c2)
+    r2 = c2.repair_with_faults(_schedule(), scheme="hmbr")
+
+    for f in _FAULT_REPORT_FIELDS:
+        assert getattr(r1, f) == getattr(r2, f), f
+    assert c1.bus.total_bytes() == c2.bus.total_bytes()
+    assert c2.read("f") == data
+
+
+@pytest.mark.parametrize("scheme", ["cr", "ir", "hmbr"])
+def test_transfer_spans_conserve_bus_bytes(scheme):
+    coord, _ = _build()
+    obs = Observability().attach(coord)
+    _crash_two(coord)
+    coord.repair(scheme=scheme)
+
+    spans = obs.tracer.find(cat="transfer", domain=OPS_DOMAIN)
+    assert spans, "repair produced no transfer spans"
+    assert sum(s.args["bytes"] for s in spans) == coord.bus.total_bytes()
+    assert len(spans) == coord.bus.transfer_count
+    # the metrics see the same totals
+    snap = obs.metrics.snapshot()
+    assert snap["counters"]["bus.bytes"] == coord.bus.total_bytes()
+    assert snap["counters"]["bus.transfers"] == coord.bus.transfer_count
+
+
+def test_transfer_spans_conserve_bus_bytes_under_faults():
+    coord, _ = _build()
+    obs = Observability().attach(coord)
+    coord.repair_with_faults(_schedule(), scheme="hmbr")
+
+    spans = obs.tracer.find(cat="transfer", domain=OPS_DOMAIN)
+    assert sum(s.args["bytes"] for s in spans) == coord.bus.total_bytes()
+
+
+def test_compute_spans_match_agent_meters_exactly():
+    """Per node, summed compute-span seconds equal Agent.compute_seconds.
+
+    Each hook call carries exactly the ``dt`` the agent just accrued, and
+    left-to-right summation reproduces the agent's own accumulation — so
+    the match is bit-exact, not approximate.
+    """
+    coord, _ = _build()
+    obs = Observability().attach(coord)
+    _crash_two(coord)
+    coord.repair(scheme="hmbr")
+
+    by_node: dict[int, float] = {}
+    for s in obs.tracer.find(cat="compute", domain=OPS_DOMAIN):
+        by_node[s.args["node"]] = by_node.get(s.args["node"], 0.0) + s.args["seconds"]
+    metered = {i: a.compute_seconds for i, a in coord.agents.items() if a.compute_seconds > 0}
+    assert by_node == metered
+
+
+def test_trace_is_well_formed_and_nested():
+    coord, _ = _build()
+    obs = Observability().attach(coord)
+    _crash_two(coord)
+    coord.repair(scheme="hmbr")
+
+    t = obs.tracer
+    t.validate()  # closure + per-actor nesting
+    roots = t.find(cat="repair")
+    assert len(roots) == 1
+    root = roots[0]
+    # the structural children hang off the repair root
+    kids = {s.cat for s in t.children_of(root)}
+    assert "plan" in kids and "dispatch" in kids
+    # sim-domain spans exist and carry the simulator's makespan
+    sim_roots = [s for s in t.find(domain=SIM_DOMAIN) if s.cat == "sim"]
+    assert len(sim_roots) == 1
+    assert sim_roots[0].args["makespan"] == pytest.approx(sim_roots[0].t1)
+
+
+def test_trace_is_well_formed_under_faults():
+    coord, _ = _build()
+    obs = Observability().attach(coord)
+    coord.repair_with_faults(_schedule(), scheme="hmbr")
+
+    t = obs.tracer
+    t.validate()
+    root = t.find(cat="repair")[0]
+    assert root.name == "repair-with-faults"
+    attempts = t.find(cat="attempt")
+    assert attempts and all("outcome" in s.args for s in attempts)
+    assert {s.args["kind"] for s in t.find(cat="fault")} == {"kill", "drop", "flap", "delay"}
+
+
+def test_chrome_trace_structure(tmp_path):
+    coord, _ = _build()
+    obs = Observability().attach(coord)
+    _crash_two(coord)
+    coord.repair(scheme="hmbr")
+
+    path = tmp_path / "trace.json"
+    obs.tracer.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+
+    xs = [e for e in events if e["ph"] == "X"]
+    begins = [e for e in events if e["ph"] == "b"]
+    ends = [e for e in events if e["ph"] == "e"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(events) == len(xs) + len(begins) + len(ends) + len(metas)
+
+    # ops spans are complete events on pid 1; sim spans balanced b/e on pid 2
+    assert xs and all(e["pid"] == 1 and e["dur"] >= 0 for e in xs)
+    assert begins and all(e["pid"] == 2 for e in begins + ends)
+    assert sorted(e["id"] for e in begins) == sorted(e["id"] for e in ends)
+    # both processes are named for the viewer
+    names = {e["args"]["name"] for e in metas if e["name"] == "process_name"}
+    assert names == {"data-plane", "fluid-sim"}
+
+
+def test_export_refuses_open_spans():
+    from repro.obs import Tracer, to_chrome_trace
+
+    t = Tracer()
+    t.begin("open", actor="a")
+    with pytest.raises(ValueError, match="open span"):
+        to_chrome_trace(t)
+
+
+def test_spans_jsonl_round_trips(tmp_path):
+    coord, _ = _build()
+    obs = Observability().attach(coord)
+    _crash_two(coord)
+    coord.repair(scheme="cr")
+
+    path = tmp_path / "spans.jsonl"
+    obs.tracer.write_jsonl(path)
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(rows) == len(obs.tracer.spans)
+    by_id = {r["span_id"]: r for r in rows}
+    for r in rows:
+        if r["parent_id"] is not None:
+            assert r["parent_id"] in by_id
+
+
+def test_attach_detach_semantics():
+    coord, _ = _build()
+    obs = Observability()
+    assert obs.attach(coord) is obs
+    assert obs.attach(coord) is obs  # idempotent for the same session
+    with pytest.raises(RuntimeError, match="already attached"):
+        Observability().attach(coord)
+    obs.detach(coord)
+    assert coord.obs is None
+    assert coord.bus.obs_hook is None
+    assert all(a.obs_hook is None for a in coord.agents.values())
+    Observability().detach(coord)  # detaching a never-attached session: no-op
+    # after detach a new session may attach
+    Observability().attach(coord)
+
+
+def test_spares_added_after_attach_are_hooked():
+    coord, _ = _build()
+    obs = Observability().attach(coord)
+    coord.add_spare(Node(40, 100.0, 100.0))
+    assert coord.agents[40].obs_hook is not None
+    obs.detach(coord)
+    assert coord.agents[40].obs_hook is None

@@ -1,0 +1,92 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    m = MetricsRegistry()
+    c = m.counter("bus.bytes")
+    c.inc(10)
+    c.inc()
+    assert c.value == 11
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_holds_last_value():
+    m = MetricsRegistry()
+    g = m.gauge("repair.simulated_transfer_s")
+    g.set(3.5)
+    g.set(1.25)
+    assert g.value == 1.25
+
+
+def test_histogram_summary_statistics():
+    m = MetricsRegistry()
+    h = m.histogram("bus.transfer_bytes")
+    for v in [10, 20, 30, 40]:
+        h.observe(v)
+    assert h.count == 4
+    assert h.total == 100
+    assert h.mean == 25
+    assert h.quantile(0.0) == 10
+    assert h.quantile(1.0) == 40
+    assert h.quantile(0.5) == 25  # linear interpolation between 20 and 30
+    s = h.summary()
+    assert s["count"] == 4 and s["min"] == 10 and s["max"] == 40
+
+
+def test_empty_histogram_quantile_raises():
+    h = MetricsRegistry().histogram("empty")
+    with pytest.raises(ValueError):
+        h.quantile(0.5)
+
+
+def test_registry_get_or_create_is_stable():
+    m = MetricsRegistry()
+    assert m.counter("a") is m.counter("a")
+    assert m.gauge("b") is m.gauge("b")
+    assert m.histogram("c") is m.histogram("c")
+    assert sorted(m.names()) == ["a", "b", "c"]
+    assert len(m) == 3 and "a" in m and "z" not in m
+
+
+def test_registry_rejects_kind_collision():
+    m = MetricsRegistry()
+    m.counter("x")
+    with pytest.raises(TypeError, match="x"):
+        m.gauge("x")
+
+
+def test_snapshot_shape():
+    m = MetricsRegistry()
+    m.counter("c").inc(2)
+    m.gauge("g").set(7.0)
+    m.histogram("h").observe(1.0)
+    snap = m.snapshot()
+    assert snap["counters"] == {"c": 2}
+    assert snap["gauges"] == {"g": 7.0}
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_write_jsonl_round_trips(tmp_path):
+    m = MetricsRegistry()
+    m.counter("c").inc(5)
+    m.histogram("h").observe(2.5)
+    path = tmp_path / "metrics.jsonl"
+    m.write_jsonl(path)
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["c"]["kind"] == "counter" and by_name["c"]["value"] == 5
+    assert by_name["h"]["kind"] == "histogram" and by_name["h"]["count"] == 1
+
+
+def test_reset_clears_everything():
+    m = MetricsRegistry()
+    m.counter("c").inc()
+    m.reset()
+    assert len(m) == 0

@@ -1,0 +1,165 @@
+"""Unit tests for the span tracer: clocks, nesting, validation, queries."""
+
+import pytest
+
+from repro.obs import OPS_DOMAIN, SIM_DOMAIN, TraceError, Tracer
+
+
+def test_clock_starts_at_zero_and_advances():
+    t = Tracer(tick_s=2.0)
+    assert t.now == 0.0
+    assert t.advance() == 2.0
+    assert t.advance(0.5) == 2.5
+    with pytest.raises(TraceError):
+        t.advance(-1.0)
+
+
+def test_sync_never_moves_backwards():
+    t = Tracer()
+    t.advance(5.0)
+    assert t.sync(3.0) == 5.0
+    assert t.sync(7.0) == 7.0
+
+
+def test_begin_end_records_parentage():
+    t = Tracer()
+    outer = t.begin("outer", actor="a")
+    inner = t.begin("inner", actor="a")
+    assert inner.parent_id == outer.span_id
+    t.advance()
+    t.end(inner)
+    t.end(outer)
+    assert inner.closed and outer.closed
+    assert t.children_of(outer) == [inner]
+    t.validate()
+
+
+def test_end_out_of_order_raises():
+    t = Tracer()
+    outer = t.begin("outer", actor="a")
+    t.begin("inner", actor="a")
+    with pytest.raises(TraceError, match="innermost"):
+        t.end(outer)
+
+
+def test_end_before_start_raises():
+    t = Tracer()
+    t.advance(5.0)
+    s = t.begin("s", actor="a")
+    with pytest.raises(TraceError, match="end before"):
+        t.end(s, ts=4.0)
+
+
+def test_actors_have_independent_stacks():
+    t = Tracer()
+    a = t.begin("a-span", actor="a")
+    b = t.begin("b-span", actor="b")
+    t.advance()
+    t.end(a)  # closing a does not disturb b's stack
+    t.end(b)
+    assert a.parent_id is None and b.parent_id is None
+    t.validate()
+
+
+def test_unwind_closes_interrupted_children():
+    t = Tracer()
+    root = t.begin("root", actor="a")
+    t.begin("child", actor="a")
+    t.begin("grandchild", actor="a")
+    t.advance()
+    t.unwind(root)  # as a finally block would after an exception
+    assert not t.open_spans()
+    t.validate()
+
+
+def test_unwind_requires_open_span():
+    t = Tracer()
+    s = t.begin("s", actor="a")
+    t.end(s)
+    with pytest.raises(TraceError, match="not open"):
+        t.unwind(s)
+
+
+def test_span_contextmanager_closes_on_exception():
+    t = Tracer()
+    with pytest.raises(RuntimeError, match="boom"):
+        with t.span("work", actor="a"):
+            t.advance()
+            raise RuntimeError("boom")
+    assert not t.open_spans()
+    t.validate()
+
+
+def test_tick_span_advances_one_tick():
+    t = Tracer(tick_s=1.0)
+    s = t.tick_span("op", actor="node:3", cat="transfer", bytes=42)
+    assert (s.t0, s.t1) == (0.0, 1.0)
+    assert t.now == 1.0
+    assert s.args["bytes"] == 42
+    assert s.domain == OPS_DOMAIN
+
+
+def test_instant_is_zero_duration():
+    t = Tracer()
+    t.advance(3.0)
+    s = t.instant("marker", actor="a")
+    assert s.t0 == s.t1 == 3.0
+    t.validate()
+
+
+def test_add_sim_span_allows_overlap():
+    t = Tracer()
+    t.add("f1", actor="net", cat="sim-transfer", t0=0.0, t1=5.0)
+    t.add("f2", actor="net", cat="sim-transfer", t0=1.0, t1=3.0)
+    t.add("f3", actor="net", cat="sim-transfer", t0=2.0, t1=9.0)  # overlaps f1
+    t.validate()  # sim-domain interval spans are exempt from nesting
+
+
+def test_add_rejects_negative_duration():
+    t = Tracer()
+    with pytest.raises(TraceError, match="t1 < t0"):
+        t.add("bad", actor="a", cat="sim", t0=2.0, t1=1.0)
+
+
+def test_validate_rejects_unclosed_spans():
+    t = Tracer()
+    t.begin("open", actor="a")
+    with pytest.raises(TraceError, match="unclosed"):
+        t.validate()
+
+
+def test_validate_rejects_ops_overlap_without_nesting():
+    t = Tracer()
+    # two ops-domain spans on one actor that overlap but neither contains
+    # the other: [0, 2) and [1, 3)
+    t.add("s1", actor="a", cat="op", t0=0.0, t1=2.0, domain=OPS_DOMAIN)
+    t.add("s2", actor="a", cat="op", t0=1.0, t1=3.0, domain=OPS_DOMAIN)
+    with pytest.raises(TraceError, match="overlaps"):
+        t.validate()
+
+
+def test_validate_accepts_nested_and_disjoint_ops_spans():
+    t = Tracer()
+    t.add("outer", actor="a", cat="op", t0=0.0, t1=4.0, domain=OPS_DOMAIN)
+    t.add("inner", actor="a", cat="op", t0=1.0, t1=2.0, domain=OPS_DOMAIN)
+    t.add("later", actor="a", cat="op", t0=4.0, t1=6.0, domain=OPS_DOMAIN)
+    t.add("other-actor", actor="b", cat="op", t0=0.5, t1=5.0, domain=OPS_DOMAIN)
+    t.validate()
+
+
+def test_find_filters_compose():
+    t = Tracer()
+    t.tick_span("x", actor="node:1", cat="transfer")
+    t.tick_span("y", actor="node:2", cat="compute")
+    t.add("z", actor="net", cat="sim", t0=0.0, t1=1.0)
+    assert [s.name for s in t.find(cat="transfer")] == ["x"]
+    assert [s.name for s in t.find(domain=SIM_DOMAIN)] == ["z"]
+    assert [s.name for s in t.find(actor="node:2", cat="compute")] == ["y"]
+    assert t.find(name="nope") == []
+
+
+def test_duration_of_open_span_raises():
+    t = Tracer()
+    s = t.begin("s", actor="a")
+    with pytest.raises(TraceError, match="still open"):
+        _ = s.duration

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Dead-link check for the repo's markdown documentation.
+
+Scans every ``*.md`` at the repo root and under ``docs/`` for markdown links
+and validates the **relative** ones (external ``http(s)``/``mailto`` targets
+are out of scope for offline CI): the referenced file or directory must
+exist, after resolving against the linking file's directory and stripping
+any ``#anchor``.  Pure-anchor links (``#section``) are checked against the
+headings of the linking file itself.
+
+Exit status: 0 if every link resolves, 1 otherwise (each miss is listed as
+``file:line: target``).
+
+Run:  python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — but not images' alt brackets or reference-style defs;
+# nested parens in targets don't occur in this repo's docs
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _anchor_slug(heading: str) -> str:
+    """GitHub's heading -> anchor rule: lowercase, spaces to dashes, strip punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _headings(md: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in md.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            slugs.add(_anchor_slug(line.lstrip("#")))
+    return slugs
+
+
+def check(root: Path) -> list[str]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    errors: list[str] = []
+    for md in files:
+        in_fence = False
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+            if in_fence:
+                continue
+            for target in _LINK.findall(line):
+                if target.startswith(_EXTERNAL):
+                    continue
+                rel = md.relative_to(root)
+                if target.startswith("#"):
+                    if _anchor_slug(target[1:]) not in _headings(md):
+                        errors.append(f"{rel}:{lineno}: broken anchor {target}")
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not (md.parent / path_part).exists():
+                    errors.append(f"{rel}:{lineno}: missing {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    errors = check(root)
+    if errors:
+        print(f"{len(errors)} broken link(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    n_files = len(list(root.glob("*.md"))) + len(list((root / "docs").glob("*.md")))
+    print(f"all relative links OK across {n_files} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for ``src/repro`` (zero-dependency, ast-based).
+
+Counts documentable definitions — modules, classes, and public functions /
+methods (names not starting with ``_``, plus ``__init__`` exempted as
+conventionally covered by the class docstring) — and reports the fraction
+carrying a docstring.  ``--min PCT`` turns the report into a ratchet gate:
+coverage below the floor fails CI, so documentation can only improve.
+
+Run:  python tools/docstring_coverage.py [--min 95.0] [root]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def _is_public_def(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    if node.name == "__init__":
+        return False  # documented by the class docstring, by convention here
+    return not node.name.startswith("_")
+
+
+def scan_file(path: Path) -> tuple[int, int, list[str]]:
+    """-> (documented, documentable, missing descriptions)."""
+    tree = ast.parse(path.read_text())
+    documented, total = 0, 0
+    missing: list[str] = []
+
+    def visit(node: ast.AST, qual: str) -> None:
+        nonlocal documented, total
+        is_module = isinstance(node, ast.Module)
+        if is_module or _is_public_def(node):
+            total += 1
+            if ast.get_docstring(node):
+                documented += 1
+            else:
+                missing.append(qual or "<module>")
+        name = getattr(node, "name", "")
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                visit(child, f"{qual}.{child.name}" if qual else child.name)
+
+    visit(tree, "")
+    return documented, total, missing
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--min", type=float, default=None,
+                    help="fail if coverage (%%) falls below this floor")
+    ap.add_argument("--verbose", action="store_true",
+                    help="list every undocumented definition")
+    ap.add_argument("root", nargs="?", default=None,
+                    help="package root to scan (default: <repo>/src/repro)")
+    args = ap.parse_args(argv[1:])
+
+    root = Path(args.root) if args.root else (
+        Path(__file__).resolve().parent.parent / "src" / "repro"
+    )
+    documented = total = 0
+    undocumented: list[str] = []
+    for py in sorted(root.rglob("*.py")):
+        d, t, missing = scan_file(py)
+        documented += d
+        total += t
+        undocumented.extend(f"{py.relative_to(root)}: {m}" for m in missing)
+
+    pct = 100.0 * documented / total if total else 100.0
+    print(f"docstring coverage: {documented}/{total} = {pct:.1f}%")
+    if args.verbose and undocumented:
+        for item in undocumented:
+            print(f"  missing: {item}")
+    if args.min is not None and pct < args.min:
+        print(f"FAIL: below the --min {args.min:.1f}% ratchet floor")
+        if not args.verbose:
+            for item in undocumented[:20]:
+                print(f"  missing: {item}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
