@@ -1,0 +1,8 @@
+"""Benchmark suite package.
+
+A real package (not a PEP 420 namespace) so pytest imports
+``benchmarks/conftest.py`` as :mod:`benchmarks.conftest` — the same module
+object the bench tests import helpers from.  Without this, hook state
+(the queued ``BENCH_batch.json`` points) would live in a second, unseen
+module instance.
+"""

@@ -1,15 +1,101 @@
-"""Reed-Solomon codec throughput benchmarks."""
+"""Reed-Solomon codec throughput benchmarks, incl. the batched repair path.
+
+The ``batched`` tests time per-stripe ``code.decode`` against
+:class:`repro.repair.batch.BatchRepairEngine` on a 16-stripe node-failure
+batch and record a perf-trajectory point into ``BENCH_batch.json``.
+``BENCH_SMOKE=1`` shrinks sizes (and drops the speedup floor) so CI can run
+them as a smoke test on shared runners.
+"""
+
+import os
+import time
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import attach
+from benchmarks.conftest import attach, record_batch_point
 from repro.ec.rs import get_code
+from repro.repair.batch import BatchRepairEngine, StripeBatchItem
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 
 
 def stripe_inputs(k, block_bytes, seed=0):
     rng = np.random.default_rng(seed)
     return rng.integers(0, 256, size=(k, block_bytes), dtype=np.uint8)
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.parametrize("w", [8, 16])
+def test_batched_repair_speedup_f4(w):
+    """16 same-pattern stripes, f=4: one plane matmul must beat 16 decodes.
+
+    The GF(2^8) configuration is the acceptance gate (>= 3x in full mode);
+    GF(2^16) is recorded for the trajectory without a hard floor.
+    """
+    k, m, f, n_stripes = 8, 4, 4, 16
+    block = (1 << 12) if SMOKE else (1 << 16)
+    repeats = 2 if SMOKE else 5
+    code = get_code(k, m, w)
+    rng = np.random.default_rng(20230717)
+    failed = [1, 4, 6, 11][:f]
+    survivors = [i for i in range(code.n) if i not in failed][:k]
+    stripes = []
+    for _ in range(n_stripes):
+        data = rng.integers(0, code.field.size, size=(k, block)).astype(code.field.dtype)
+        stripes.append(code.encode_stripe(data))
+
+    def per_stripe():
+        return [
+            code.decode({i: s[i] for i in survivors}, list(failed)) for s in stripes
+        ]
+
+    engine = BatchRepairEngine(code)
+    items = [
+        StripeBatchItem(
+            stripe_id=sid,
+            survivors=tuple(survivors),
+            failed=tuple(failed),
+            sources=[s[i] for i in survivors],
+        )
+        for sid, s in enumerate(stripes)
+    ]
+
+    expected = per_stripe()  # also warms the per-stripe repair-matrix memo
+    res = engine.repair_items(items)  # warms the plan cache
+    for fb in failed:  # bit-exactness spot check before timing
+        assert np.array_equal(res.outputs[0][fb], expected[0][fb])
+
+    t_single = _best_of(per_stripe, repeats)
+    t_batch = _best_of(lambda: engine.repair_items(items), repeats)
+    speedup = t_single / t_batch
+    nbytes = n_stripes * k * block * code.field.dtype().itemsize
+    record_batch_point(
+        f"ec_codec.batched_repair.gf{w}",
+        params={
+            "k": k, "m": m, "f": f, "stripes": n_stripes,
+            "block_symbols": block, "field_w": w, "smoke": SMOKE,
+        },
+        metrics={
+            "per_stripe_s": t_single,
+            "batched_s": t_batch,
+            "speedup_x": speedup,
+            "batched_MBps": nbytes / t_batch / 2**20,
+            "plan_hit_rate": engine.stats()["hit_rate"],
+        },
+    )
+    if w == 8 and not SMOKE:
+        assert speedup >= 3.0, f"batched GF(2^8) repair only {speedup:.2f}x"
+    else:
+        assert speedup > 0.0
 
 
 @pytest.mark.parametrize("k,m", [(6, 3), (64, 8)])

@@ -15,6 +15,13 @@ from repro.gf.matrix import (
     gf_solve,
     gf_identity,
 )
+from repro.gf.batch import (
+    gf_plane_matmul,
+    gf_batch_matmul,
+    gf_stack_plane,
+    scale_lut,
+    lut_cache_clear,
+)
 
 __all__ = [
     "GF",
@@ -27,4 +34,9 @@ __all__ = [
     "gf_rank",
     "gf_solve",
     "gf_identity",
+    "gf_plane_matmul",
+    "gf_batch_matmul",
+    "gf_stack_plane",
+    "scale_lut",
+    "lut_cache_clear",
 ]

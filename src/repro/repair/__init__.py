@@ -35,7 +35,24 @@ from repro.repair.rackaware import (
     LinkUsageTracker,
 )
 from repro.repair.multinode import CenterScheduler, MultiNodeRepairJob, plan_multi_node
-from repro.repair.executor import PlanExecutor, Workspace, ExecutionReport
+from repro.repair.executor import (
+    BatchExecutionReport,
+    BatchRepairRequest,
+    ExecutionReport,
+    PlanExecutor,
+    Workspace,
+)
+from repro.repair.batch import (
+    BatchRepairEngine,
+    DecodePlan,
+    PatternGroup,
+    PatternKey,
+    PlanCache,
+    StripeBatchItem,
+    build_decode_plan,
+    group_by_pattern,
+    pattern_key,
+)
 from repro.repair.validate import validate_plan, PlanValidationError
 from repro.repair.selector import choose_scheme, SchemeChoice
 from repro.repair.singleblock import plan_star, plan_chain, plan_ppr, SINGLE_BLOCK_SCHEMES
@@ -68,6 +85,17 @@ __all__ = [
     "PlanExecutor",
     "Workspace",
     "ExecutionReport",
+    "BatchRepairEngine",
+    "BatchExecutionReport",
+    "BatchRepairRequest",
+    "DecodePlan",
+    "PatternGroup",
+    "PatternKey",
+    "PlanCache",
+    "StripeBatchItem",
+    "build_decode_plan",
+    "group_by_pattern",
+    "pattern_key",
     "validate_plan",
     "PlanValidationError",
     "choose_scheme",

@@ -105,6 +105,52 @@ class ExecutionReport:
         return max(self.compute_seconds.values(), default=0.0)
 
 
+@dataclass
+class BatchRepairRequest:
+    """One stripe's entry in a batched (pattern-grouped) execution.
+
+    The workspace must already hold the stripe's survivor blocks at their
+    placement nodes under :func:`repro.ec.stripe.block_name`.  ``dest``
+    maps each failed block index to the node that receives the repaired
+    buffer; the first failed block's destination acts as the compute
+    center (all survivors ship there, the group decode is charged there).
+    """
+
+    stripe: Stripe
+    survivors: list[int]
+    failed: list[int]
+    dest: dict[int, int]
+
+    @property
+    def center(self) -> int:
+        return self.dest[self.failed[0]]
+
+
+@dataclass
+class BatchExecutionReport:
+    """What happened when a batched execution ran."""
+
+    compute_seconds: dict[int, float]  # node -> GF compute wall time
+    transfer_mb_equiv: float  # MB moved between workspaces (at test scale)
+    gf_bytes_processed: int  # bytes fed through GF kernels
+    outputs: dict[int, dict[int, np.ndarray]]  # stripe -> failed block -> buffer
+    stripes: int = 0
+    pattern_groups: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    per_node_mb_sent: dict[int, float] = field(default_factory=dict)
+    gf_bytes_by_node: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_compute_seconds(self) -> float:
+        return sum(self.compute_seconds.values())
+
+    @property
+    def critical_compute_seconds(self) -> float:
+        """Max per-node compute: nodes work in parallel in the real system."""
+        return max(self.compute_seconds.values(), default=0.0)
+
+
 class PlanExecutor:
     """Execute repair plans over a workspace."""
 
@@ -224,6 +270,121 @@ class PlanExecutor:
             gf_bytes_processed=gf_bytes,
             outputs=outputs,
             op_count=len(plan.ops),
+            per_node_mb_sent={n: e * itemsize / 2**20 for n, e in sent_elems.items()},
+            gf_bytes_by_node=gf_by_node,
+        )
+
+    def execute_batch(
+        self,
+        requests: list[BatchRepairRequest],
+        engine,
+        verify_against: dict[int, dict[int, np.ndarray]] | None = None,
+        tracer=None,
+    ) -> BatchExecutionReport:
+        """Repair many stripes with one GF kernel call per pattern group.
+
+        Semantically a batched CR: every request's survivor buffers move to
+        its center, stripes sharing an erasure pattern decode through one
+        stacked matmul (reusing the engine's cached plan), and repaired
+        buffers land at their destination nodes under
+        :func:`~repro.ec.stripe.block_name`.  Bit-exact with running
+        :meth:`execute` on per-stripe plans for the same failures.
+
+        ``engine`` is a :class:`repro.repair.batch.BatchRepairEngine` (it
+        binds the code and owns the :class:`~repro.repair.batch.PlanCache`);
+        callers that repair repeatedly should keep one engine alive so
+        cached decode plans amortize across calls.  ``verify_against`` maps
+        stripe id -> failed block -> expected buffer.
+        """
+        from repro.repair.batch import BatchRepairEngine, StripeBatchItem
+
+        if not isinstance(engine, BatchRepairEngine):
+            raise TypeError(f"engine must be a BatchRepairEngine, got {type(engine)!r}")
+        field_ = self.ws.field
+        itemsize = field_.dtype().itemsize
+        moved_elems = 0
+        sent_elems: dict[int, int] = {}
+        root = None
+        if tracer is not None:
+            root = tracer.begin(
+                "execute-batch", actor="executor", cat="execute",
+                stripes=len(requests),
+            )
+        try:
+            items: list[StripeBatchItem] = []
+            for req in requests:
+                sid = req.stripe.stripe_id
+                center = req.center
+                sources = []
+                for b in req.survivors:
+                    host = req.stripe.placement[b]
+                    buf = self.ws.get(host, block_name(sid, b))
+                    if host != center:
+                        moved_elems += buf.size
+                        sent_elems[host] = sent_elems.get(host, 0) + buf.size
+                        if tracer is not None:
+                            tracer.tick_span(
+                                f"xfer:{host}->{center}", actor=f"node:{host}",
+                                cat="transfer", src=host, dst=center,
+                                bytes=int(buf.nbytes),
+                            )
+                    sources.append(buf)
+                items.append(
+                    StripeBatchItem(
+                        stripe_id=sid, survivors=tuple(req.survivors),
+                        failed=tuple(req.failed), sources=sources,
+                    )
+                )
+            res = engine.repair_items(items)
+
+            compute: dict[int, float] = {}
+            gf_by_node: dict[int, int] = {}
+            for req in requests:
+                sid = req.stripe.stripe_id
+                center = req.center
+                compute[center] = compute.get(center, 0.0) + res.compute_seconds_by_stripe[sid]
+                gf_by_node[center] = gf_by_node.get(center, 0) + res.gf_bytes_by_stripe[sid]
+                for fb in req.failed:
+                    out = res.outputs[sid][fb]
+                    dest = req.dest[fb]
+                    if dest != center:
+                        moved_elems += out.size
+                        sent_elems[center] = sent_elems.get(center, 0) + out.size
+                        if tracer is not None:
+                            tracer.tick_span(
+                                f"xfer:{center}->{dest}", actor=f"node:{center}",
+                                cat="transfer", src=center, dst=dest,
+                                bytes=int(out.nbytes),
+                            )
+                    self.ws.put(dest, block_name(sid, fb), out)
+        finally:
+            if root is not None:
+                tracer.end(root)
+
+        if verify_against is not None:
+            for sid, expected_blocks in verify_against.items():
+                got = res.outputs.get(sid, {})
+                for fb, expected in expected_blocks.items():
+                    if fb not in got:
+                        raise AssertionError(
+                            f"batch produced no output for stripe {sid} block {fb}"
+                        )
+                    if not np.array_equal(
+                        got[fb], np.asarray(expected, dtype=field_.dtype)
+                    ):
+                        raise AssertionError(
+                            f"repaired stripe {sid} block {fb} differs from the original"
+                        )
+
+        return BatchExecutionReport(
+            compute_seconds=compute,
+            transfer_mb_equiv=moved_elems * itemsize / 2**20,
+            gf_bytes_processed=res.gf_bytes,
+            outputs=res.outputs,
+            stripes=res.stripes,
+            pattern_groups=res.groups,
+            plan_hits=res.plan_hits,
+            plan_misses=res.plan_misses,
             per_node_mb_sent={n: e * itemsize / 2**20 for n, e in sent_elems.items()},
             gf_bytes_by_node=gf_by_node,
         )

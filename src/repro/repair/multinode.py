@@ -62,6 +62,9 @@ class MultiNodeRepairJob:
     new_nodes: list[int]
     center: int
     plan: RepairPlan = field(repr=False, default=None)
+    #: erasure pattern (a :class:`repro.repair.batch.PatternKey`) when the
+    #: repair was planned with ``group_patterns=True``; ``None`` otherwise.
+    pattern: object = None
 
 
 def plan_multi_node(
@@ -75,6 +78,8 @@ def plan_multi_node(
     enhanced: bool = True,
     survivor_policy: str = "first",
     split: str = "global-search",
+    group_patterns: bool = False,
+    plan_cache=None,
 ) -> tuple[RepairPlan, list[MultiNodeRepairJob]]:
     """Plan the repair of every stripe hit by ``dead_nodes``.
 
@@ -82,6 +87,16 @@ def plan_multi_node(
     its blocks.  With ``enhanced=True`` centers are spread via LFS+LRS; the
     baseline always lets each stripe pick its fastest-downlink new node
     (which concentrates stripes on the same center and congests it).
+
+    With ``group_patterns=True`` stripes are bucketed by erasure pattern
+    (code params + surviving-helper set + failed set) *before* center
+    scheduling, so LFS+LRS walks pattern groups rather than individual
+    stripes and the batched data plane can decode each group with one
+    stacked kernel.  Jobs then carry their
+    :class:`~repro.repair.batch.PatternKey` and the merged plan's meta
+    gains ``pattern_groups``.  A :class:`~repro.repair.batch.PlanCache`
+    passed as ``plan_cache`` is warmed with one decode plan per group
+    (its accounting lands in ``merged.meta["plan_cache"]``).
 
     For ``scheme="hmbr"``, ``split`` controls the CR/IR ratio:
 
@@ -100,7 +115,7 @@ def plan_multi_node(
     if missing:
         raise ValueError(f"no replacement for dead nodes {sorted(missing)}")
     scheduler = CenterScheduler()
-    work: list[tuple[RepairContext, int]] = []
+    contexts: list[RepairContext] = []
     for stripe in layout:
         failed = stripe.failed_blocks(dead)
         if not failed:
@@ -108,19 +123,57 @@ def plan_multi_node(
         if len(failed) > code.m:
             raise ValueError(f"stripe {stripe.stripe_id} lost {len(failed)} > m blocks")
         new_nodes = [replacement_of[stripe.placement[b]] for b in failed]
-        ctx = RepairContext(
-            cluster=cluster,
-            code=code,
-            stripe=stripe,
-            failed_blocks=failed,
-            new_nodes=new_nodes,
-            block_size_mb=block_size_mb,
-            survivor_policy=survivor_policy,
+        contexts.append(
+            RepairContext(
+                cluster=cluster,
+                code=code,
+                stripe=stripe,
+                failed_blocks=failed,
+                new_nodes=new_nodes,
+                block_size_mb=block_size_mb,
+                survivor_policy=survivor_policy,
+            )
         )
-        center = scheduler.pick(new_nodes) if enhanced else ctx.pick_center("fastest-downlink")
-        work.append((ctx, center))
-    if not work:
+    if not contexts:
         raise ValueError("no stripe was affected by the given dead nodes")
+
+    pattern_of: dict[int, object] = {}
+    pattern_groups_meta: list[dict] = []
+    if group_patterns:
+        from repro.repair.batch import pattern_key
+
+        # Bucket stripes by erasure pattern (first-occurrence order), then
+        # schedule group-major: LFS+LRS walks whole pattern groups, keeping
+        # each group's stripes adjacent for the batched data plane.
+        buckets: dict[object, list[RepairContext]] = {}
+        order: list[object] = []
+        for ctx in contexts:
+            key = pattern_key(code, ctx.chosen_survivors(), ctx.failed_blocks)
+            pattern_of[ctx.stripe.stripe_id] = key
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(ctx)
+        contexts = [ctx for key in order for ctx in buckets[key]]
+        for key in order:
+            pattern_groups_meta.append(
+                {
+                    "survivors": list(key.survivors),
+                    "failed": list(key.failed),
+                    "stripes": [c.stripe.stripe_id for c in buckets[key]],
+                }
+            )
+            if plan_cache is not None:
+                plan_cache.plan_for(code, key.survivors, key.failed)
+
+    work: list[tuple[RepairContext, int]] = []
+    for ctx in contexts:
+        center = (
+            scheduler.pick(ctx.new_nodes)
+            if enhanced
+            else ctx.pick_center("fastest-downlink")
+        )
+        work.append((ctx, center))
 
     common_p: float | None = None
     if scheme == "hmbr" and split == "global-search":
@@ -159,8 +212,13 @@ def plan_multi_node(
                 new_nodes=ctx.new_nodes,
                 center=center,
                 plan=plan,
+                pattern=pattern_of.get(ctx.stripe.stripe_id),
             )
         )
     merged = merge_plans(plans, scheme=f"multi-node/{scheme}{'+sched' if enhanced else ''}")
     merged.meta["common_p"] = common_p
+    if group_patterns:
+        merged.meta["pattern_groups"] = pattern_groups_meta
+        if plan_cache is not None:
+            merged.meta["plan_cache"] = plan_cache.stats()
     return merged, jobs

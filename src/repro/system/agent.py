@@ -74,6 +74,19 @@ class Agent:
         if self.obs_hook is not None:
             self.obs_hook(self.node_id, dt, sum(s.nbytes for s in srcs))
 
+    def charge_compute(self, seconds: float, nbytes: int) -> None:
+        """Meter GF work done on this node's behalf outside :meth:`do_combine`.
+
+        The batched repair engine runs one kernel per pattern group and
+        splits the cost across the stripes it repaired; each stripe's share
+        is charged here to its center so per-node compute accounting (and
+        the observability tap) stays equivalent to the per-stripe path.
+        """
+        dt = seconds * self.slowdown
+        self.compute_seconds += dt
+        if self.obs_hook is not None:
+            self.obs_hook(self.node_id, dt, nbytes)
+
     def do_concat(self, op: ConcatOp) -> None:
         parts = [self._resolve(p) for p in op.parts]
         self.scratch[op.out] = np.concatenate(parts)

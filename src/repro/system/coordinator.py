@@ -36,6 +36,7 @@ from repro.cluster.topology import Cluster
 from repro.ec.rs import RSCode
 from repro.ec.stripe import Stripe, StripeLayout, block_name
 from repro.gf.field import GF, gf8
+from repro.repair.batch import BatchRepairEngine, PlanCache, StripeBatchItem
 from repro.repair.centralized import plan_centralized
 from repro.repair.context import RepairContext
 from repro.repair.hybrid import plan_hybrid
@@ -81,6 +82,11 @@ class RepairReport:
     blocks_recovered: int
     per_stripe_transfer_s: dict[int, float] = field(default_factory=dict)
     replacements: dict[int, int] = field(default_factory=dict)
+    #: True when the data plane ran through the batched engine (one GF
+    #: kernel per pattern group) instead of per-stripe plan ops.
+    batched: bool = False
+    pattern_groups: int = 0
+    plan_cache_stats: dict = field(default_factory=dict)
 
 
 class Coordinator:
@@ -115,6 +121,9 @@ class Coordinator:
         self.bus = DataBus(rack_of={i: cluster[i].rack for i in cluster.node_ids()})
         self.spares: list[int] = []
         self.center_scheduler = CenterScheduler()
+        #: decode-plan LRU shared by every batched repair of this system, so
+        #: repeated storms with recurring erasure patterns skip re-inversion.
+        self.plan_cache = PlanCache()
         self._next_stripe_id = 0
         #: optional :class:`repro.obs.Observability` session (see its
         #: ``attach``); ``None`` means every instrumentation point is a no-op.
@@ -224,7 +233,9 @@ class Coordinator:
     # -------------------------------------------------------------- #
     # repair
     # -------------------------------------------------------------- #
-    def repair(self, scheme: str = "hmbr", verify: bool = True) -> RepairReport:
+    def repair(
+        self, scheme: str = "hmbr", verify: bool = True, batched: bool = False
+    ) -> RepairReport:
         """Repair every stripe that lost blocks to the current dead nodes.
 
         New nodes are drawn from the spare pool (one replacement per dead
@@ -232,6 +243,15 @@ class Coordinator:
         simulated together so shared links contend, and centers are spread
         with the §IV-C LFS+LRS scheduler.  ``scheme="auto"`` scores every
         candidate per stripe in the simulator and picks the fastest.
+
+        With ``batched=True`` the *data plane* runs through the
+        :class:`~repro.repair.batch.BatchRepairEngine`: stripes are grouped
+        by erasure pattern and each group decodes via one stacked GF kernel,
+        reusing inverted decode matrices from :attr:`plan_cache`.  Planning,
+        center scheduling, and the simulated timing plane are unchanged, and
+        the repaired bytes are bit-exact with the per-stripe path — only the
+        wall-clock compute (and its per-node attribution via
+        :meth:`~repro.system.agent.Agent.charge_compute`) gets cheaper.
         """
         if scheme != "auto" and scheme not in _PLANNERS:
             raise ValueError(
@@ -248,6 +268,7 @@ class Coordinator:
             root = obs.tracer.begin(
                 "repair", actor="coordinator", cat="repair",
                 scheme=scheme, dead_nodes=list(dead), stripes=sorted(affected),
+                batched=batched,
             )
         try:
             dead_with_blocks = sorted(
@@ -327,25 +348,30 @@ class Coordinator:
 
             # ---- data plane: dispatch ops to agents, commit repaired blocks
             compute_before = {i: a.compute_seconds for i, a in self.agents.items()}
-            for sid, plan, ctx in plans:
-                stripe_span = None
-                if obs is not None:
-                    stripe_span = obs.tracer.begin(
-                        f"stripe:{sid}", actor="coordinator", cat="dispatch",
-                        stripe=sid, scheme=plan.scheme, ops=len(plan.ops),
-                    )
-                try:
-                    run_plan_ops(plan.ops, self.agents, self.bus)
-                    for fb, (node, buf) in plan.outputs.items():
-                        agent = self.agents[node]
-                        repaired = agent.scratch[buf]
-                        agent.store_block(block_name(sid, fb), repaired, overwrite=True)
-                        stripes[sid].placement[fb] = node
-                    if verify:
-                        self._verify_stripe(sid)
-                finally:
-                    if stripe_span is not None:
-                        obs.tracer.end(stripe_span)
+            pattern_groups = 0
+            if batched:
+                centers = {sid: center for sid, _, center in work}
+                pattern_groups = self._dispatch_batched(plans, centers, stripes, verify)
+            else:
+                for sid, plan, ctx in plans:
+                    stripe_span = None
+                    if obs is not None:
+                        stripe_span = obs.tracer.begin(
+                            f"stripe:{sid}", actor="coordinator", cat="dispatch",
+                            stripe=sid, scheme=plan.scheme, ops=len(plan.ops),
+                        )
+                    try:
+                        run_plan_ops(plan.ops, self.agents, self.bus)
+                        for fb, (node, buf) in plan.outputs.items():
+                            agent = self.agents[node]
+                            repaired = agent.scratch[buf]
+                            agent.store_block(block_name(sid, fb), repaired, overwrite=True)
+                            stripes[sid].placement[fb] = node
+                        if verify:
+                            self._verify_stripe(sid)
+                    finally:
+                        if stripe_span is not None:
+                            obs.tracer.end(stripe_span)
             for agent in self.agents.values():
                 agent.clear_scratch()
 
@@ -374,6 +400,9 @@ class Coordinator:
             blocks_recovered=sum(len(f) for f in affected.values()),
             per_stripe_transfer_s=per_stripe,
             replacements=replacement_of,
+            batched=batched,
+            pattern_groups=pattern_groups,
+            plan_cache_stats=self.plan_cache.stats() if batched else {},
         )
         if obs is not None:
             m = obs.metrics
@@ -430,6 +459,65 @@ class Coordinator:
             plan_timeout_s=plan_timeout_s,
         )
         return runtime.repair(scheme=scheme, verify=verify)
+
+    def _dispatch_batched(self, plans, centers, stripes, verify: bool) -> int:
+        """Batched data plane: one stacked GF kernel per erasure-pattern group.
+
+        Each stripe's survivors ship to its center (metered on the bus like
+        the op-level path), pattern groups decode through the shared
+        :attr:`plan_cache`, repaired buffers land at the planned output
+        nodes, and each stripe's share of the group kernel cost is charged
+        to its center via :meth:`~repro.system.agent.Agent.charge_compute`.
+        Returns the number of pattern groups decoded.
+        """
+        obs = self.obs
+        engine = BatchRepairEngine(self.code, cache=self.plan_cache, obs=obs)
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                "dispatch-batch", actor="coordinator", cat="dispatch",
+                stripes=len(plans),
+            )
+        try:
+            items: list[StripeBatchItem] = []
+            for sid, plan, ctx in plans:
+                center = centers[sid]
+                survivors = ctx.chosen_survivors()
+                sources = []
+                for b in survivors:
+                    host = ctx.stripe.placement[b]
+                    buf = self.agents[host].read_block(block_name(sid, b))
+                    if host != center:
+                        self.bus.check(host, center, buf.nbytes)
+                        self.bus.record(host, center, buf.nbytes)
+                    sources.append(buf)
+                items.append(
+                    StripeBatchItem(
+                        stripe_id=sid,
+                        survivors=tuple(survivors),
+                        failed=tuple(ctx.failed_blocks),
+                        sources=sources,
+                    )
+                )
+            res = engine.repair_items(items)
+            for sid, plan, ctx in plans:
+                center = centers[sid]
+                for fb, (dest, _buf) in plan.outputs.items():
+                    out = res.outputs[sid][fb]
+                    if dest != center:
+                        self.bus.check(center, dest, out.nbytes)
+                        self.bus.record(center, dest, out.nbytes)
+                    self.agents[dest].store_block(block_name(sid, fb), out, overwrite=True)
+                    stripes[sid].placement[fb] = dest
+                self.agents[center].charge_compute(
+                    res.compute_seconds_by_stripe[sid], res.gf_bytes_by_stripe[sid]
+                )
+                if verify:
+                    self._verify_stripe(sid)
+            return res.groups
+        finally:
+            if span is not None:
+                obs.tracer.end(span)
 
     def _assign_spares(self, dead_nodes: list[int], free_spares: list[int]) -> dict[int, int]:
         """Match each dead node to a replacement spare.

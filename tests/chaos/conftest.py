@@ -2,11 +2,13 @@
 
 Iteration count and master seed come from the repo-root options
 ``--chaos-iterations`` / ``--chaos-seed``.  Every iteration's schedule seed
-is derived deterministically from the master seed and appears in the test
-id, so a red run names the exact schedule to replay.
+is derived deterministically from the master seed (via the suite-wide
+:func:`tests.seeds.seed_fanout`) and appears in the test id; when an
+iteration fails, the report gains a ``chaos replay`` section with the exact
+command — node id plus the ``--chaos-seed`` / ``--chaos-iterations`` values
+that produced it — to rerun just that schedule.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster.bandwidth import make_wld
@@ -14,14 +16,46 @@ from repro.cluster.node import Node
 from repro.cluster.topology import Cluster
 from repro.ec.rs import RSCode
 from repro.system.coordinator import Coordinator
+from tests.seeds import seed_fanout
 
 
 def pytest_generate_tests(metafunc):
     if "chaos_seed" in metafunc.fixturenames:
         iterations = metafunc.config.getoption("--chaos-iterations")
         master = metafunc.config.getoption("--chaos-seed")
-        seeds = np.random.SeedSequence(master).generate_state(iterations).tolist()
+        seeds = seed_fanout(master, iterations)
         metafunc.parametrize("chaos_seed", seeds, ids=[f"seed{s}" for s in seeds])
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On a chaos failure, name the exact reseed command in the report.
+
+    The schedule seed alone is not replayable (it is *derived* from the
+    master), so the section spells out the full invocation: this node id
+    under the same ``--chaos-seed`` master and ``--chaos-iterations`` count
+    regenerates the identical parametrization and nothing else.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    callspec = getattr(item, "callspec", None)
+    if callspec is None or "chaos_seed" not in callspec.params:
+        return
+    master = item.config.getoption("--chaos-seed")
+    iterations = item.config.getoption("--chaos-iterations")
+    cmd = (
+        f'PYTHONPATH=src python -m pytest "{item.nodeid}" '
+        f"--chaos-seed={master} --chaos-iterations={iterations}"
+    )
+    report.sections.append(
+        (
+            "chaos replay",
+            f"schedule seed {callspec.params['chaos_seed']} "
+            f"(derived from master {master}); replay exactly with:\n  {cmd}",
+        )
+    )
 
 
 @pytest.fixture

@@ -1,4 +1,10 @@
-"""Shared fixtures: the paper's Figure 2 scenario and generic repair setups."""
+"""Shared fixtures: the paper's Figure 2 scenario and generic repair setups.
+
+Seed fan-out for randomized suites lives in :mod:`tests.seeds` (one master
+seed, deterministic derivation); it is re-exported here so every tier —
+including ``tests/chaos`` — draws from the same helper instead of repeating
+the ``SeedSequence`` recipe.
+"""
 
 import numpy as np
 import pytest
@@ -8,6 +14,7 @@ from repro.cluster.topology import Cluster
 from repro.ec.rs import RSCode
 from repro.ec.stripe import Stripe
 from repro.repair.context import RepairContext
+from tests.seeds import DEFAULT_MASTER_SEED, seed_fanout  # noqa: F401  (re-export)
 
 
 @pytest.fixture

@@ -13,6 +13,7 @@ from repro.repair.independent import plan_independent
 from repro.simnet.fluid import FluidSimulator, _Resource
 from repro.simnet.static import StaticShareEvaluator
 from tests.conftest import make_repair_ctx
+from tests.seeds import DEFAULT_MASTER_SEED, seed_fanout
 
 
 @st.composite
@@ -72,7 +73,7 @@ def test_allocation_is_feasible_and_maxmin(instance):
 # fluid vs static §III-B1 sweep
 # --------------------------------------------------------------------- #
 
-_SWEEP_SEEDS = [int(s) for s in np.random.SeedSequence(20230717).generate_state(50)]
+_SWEEP_SEEDS = seed_fanout(DEFAULT_MASTER_SEED, 50)
 
 
 def _random_repair_ctx(seed, homogeneous=False):

@@ -1,0 +1,66 @@
+"""Golden-fixture regression tests for the paper experiments.
+
+Each committed ``tests/golden/<name>.json`` is regenerated in-process by
+the same code path as ``tools/regen_goldens.py`` and byte-compared against
+the file.  A mismatch means a refactor shifted a paper figure (exp1 /
+exp5 / exp6): either the change is a bug, or the new numbers are intended
+and the goldens must be regenerated explicitly::
+
+    PYTHONPATH=src python tools/regen_goldens.py
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location(
+        "regen_goldens", REPO / "tools" / "regen_goldens.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+regen = _load_regen()
+
+
+@pytest.mark.parametrize("name", sorted(regen.GENERATORS))
+def test_golden_matches_regenerated(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden {path}; generate it with "
+        "PYTHONPATH=src python tools/regen_goldens.py"
+    )
+    fresh = regen.GENERATORS[name]()
+    committed = path.read_text()
+    assert committed == fresh, (
+        f"golden {name}.json is stale: the experiment's numbers changed. "
+        "If intended, rerun tools/regen_goldens.py and commit the diff."
+    )
+
+
+@pytest.mark.parametrize("name", sorted(regen.GENERATORS))
+def test_golden_is_canonical_json(name):
+    """Goldens must round-trip through the canonicalizer unchanged, so a
+    hand edit (or a non-canonical rewrite) can't slip past the comparison."""
+    path = GOLDEN_DIR / f"{name}.json"
+    rows = json.loads(path.read_text())
+    assert regen.canonical_json(rows) == path.read_text()
+
+
+def test_goldens_pin_the_paper_effects():
+    """Sanity: the pinned numbers still show the paper's qualitative story."""
+    exp1 = json.loads((GOLDEN_DIR / "exp1.json").read_text())
+    wld8 = [r for r in exp1 if r["wld"] == "WLD-8x"]
+    assert wld8 and all(r["hmbr"] <= min(r["cr"], r["ir"]) + 1e-9 for r in wld8)
+    exp5 = json.loads((GOLDEN_DIR / "exp5.json").read_text())
+    assert all(r["enhanced_s"] <= r["baseline_s"] + 1e-9 for r in exp5)
+    exp6 = json.loads((GOLDEN_DIR / "exp6.json").read_text())
+    assert all(r["T_t_frac_%"] > 50.0 for r in exp6)  # transfer dominates

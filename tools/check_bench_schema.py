@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_batch.json perf-trajectory artifact against schema v1.
+
+Usage::
+
+    python tools/check_bench_schema.py [path ...]
+
+Defaults to the repo-root ``BENCH_batch.json``.  Exits non-zero (listing
+every violation) if the document does not match the schema the batched
+benchmarks emit, so CI catches a drifting artifact before it is uploaded:
+
+* top level: ``schema_version`` (== 1), ``suite`` (non-empty str),
+  ``env`` (dict of scalars), ``points`` (non-empty list), nothing else;
+* each point: ``bench`` (non-empty str, unique), ``params`` (dict of
+  int/float/str/bool), ``metrics`` (non-empty dict of finite numbers);
+* at least one point carries a positive ``speedup_x`` metric — the whole
+  reason the trajectory exists.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCHEMA_VERSION = 1
+TOP_KEYS = {"schema_version", "suite", "env", "points"}
+SCALARS = (int, float, str, bool)
+
+
+def check_doc(doc, errors):
+    """Append one message per schema violation found in ``doc``."""
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        return
+    if set(doc) != TOP_KEYS:
+        errors.append(f"top-level keys {sorted(doc)} != {sorted(TOP_KEYS)}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}")
+    if not (isinstance(doc.get("suite"), str) and doc.get("suite")):
+        errors.append("suite must be a non-empty string")
+    env = doc.get("env")
+    if not isinstance(env, dict) or not all(
+        isinstance(v, SCALARS) for v in env.values()
+    ):
+        errors.append("env must be a dict of scalar values")
+    points = doc.get("points")
+    if not (isinstance(points, list) and points):
+        errors.append("points must be a non-empty list")
+        return
+    names = []
+    for i, point in enumerate(points):
+        where = f"points[{i}]"
+        if not isinstance(point, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        bench = point.get("bench")
+        if not (isinstance(bench, str) and bench):
+            errors.append(f"{where}.bench must be a non-empty string")
+        else:
+            names.append(bench)
+        params = point.get("params")
+        if not isinstance(params, dict) or not all(
+            isinstance(v, SCALARS) for v in params.values()
+        ):
+            errors.append(f"{where}.params must be a dict of scalar values")
+        metrics = point.get("metrics")
+        if not (isinstance(metrics, dict) and metrics):
+            errors.append(f"{where}.metrics must be a non-empty dict")
+            continue
+        for key, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors.append(f"{where}.metrics[{key!r}] is not a number")
+            elif not math.isfinite(value):
+                errors.append(f"{where}.metrics[{key!r}] is not finite")
+    if len(names) != len(set(names)):
+        errors.append("duplicate bench names in points")
+    speedups = [
+        p["metrics"]["speedup_x"]
+        for p in points
+        if isinstance(p, dict)
+        and isinstance(p.get("metrics"), dict)
+        and isinstance(p["metrics"].get("speedup_x"), (int, float))
+    ]
+    if not any(s > 0 for s in speedups):
+        errors.append("no point carries a positive speedup_x metric")
+
+
+def check_file(path: Path) -> list[str]:
+    """All schema violations for one artifact file (empty list == valid)."""
+    if not path.exists():
+        return [f"{path}: missing"]
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON: {exc}"]
+    errors: list[str] = []
+    check_doc(doc, errors)
+    return [f"{path}: {e}" for e in errors]
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(a) for a in argv] or [REPO / "BENCH_batch.json"]
+    failures = []
+    for path in paths:
+        errs = check_file(path)
+        if errs:
+            failures.extend(errs)
+        else:
+            doc = json.loads(path.read_text())
+            print(f"{path}: ok ({len(doc['points'])} point(s), suite {doc['suite']!r})")
+    for err in failures:
+        print(f"SCHEMA: {err}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

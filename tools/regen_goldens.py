@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Regenerate the golden fixtures under ``tests/golden/``.
+
+Goldens pin the *numbers* of the paper experiments — small, fast
+configurations of exp1 (Fig. 8), exp5 (Fig. 12), and exp6 (Table II) —
+as canonical JSON.  ``tests/test_goldens.py`` regenerates each one
+in-process and byte-compares it against the committed file, so any
+refactor that silently shifts a paper figure turns a test red instead of
+quietly corrupting the reproduction.
+
+Every golden config is deterministic: seeds are fixed, and no wall-clock
+measurement feeds the outputs (exp6's compute column comes from GF *bytes*
+at a pinned :class:`~repro.analysis.breakdown.CostModel` throughput).
+
+Usage::
+
+    PYTHONPATH=src python tools/regen_goldens.py            # rewrite all
+    PYTHONPATH=src python tools/regen_goldens.py --check    # verify only
+    PYTHONPATH=src python tools/regen_goldens.py exp5       # one fixture
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+#: float digits kept in goldens — enough to catch any real numeric drift,
+#: few enough to survive benign last-ulp differences across BLAS/libm builds.
+FLOAT_DIGITS = 8
+
+
+def _canon(obj):
+    """Canonicalize for byte-stable JSON: numpy scalars out, floats rounded."""
+    if isinstance(obj, dict):
+        return {str(k): _canon(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return round(float(obj), FLOAT_DIGITS)
+    return obj
+
+
+def canonical_json(rows) -> str:
+    return json.dumps(_canon(rows), indent=2, sort_keys=True) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# golden configs: small, fast, deterministic
+# --------------------------------------------------------------------- #
+def gen_exp1() -> str:
+    from repro.experiments.exp1 import run
+
+    rows = run(
+        grid=[(6, 3, 2), (9, 3, 3)],
+        wlds=["WLD-2x", "WLD-8x"],
+        seeds=(2023, 2024),
+    )
+    return canonical_json(rows)
+
+
+def gen_exp5() -> str:
+    from repro.experiments.exp5 import run
+
+    rows = run(
+        cases=[(8, 4, 4)],
+        seeds=(2023,),
+        n_data_nodes=24,
+        n_stripes=12,
+        wld="WLD-4x",
+    )
+    return canonical_json(rows)
+
+
+def gen_exp6() -> str:
+    from repro.experiments.exp6 import run
+
+    rows = run(cases=[(8, 4)], seed=2023, test_block_bytes=1 << 14)
+    return canonical_json(rows)
+
+
+GENERATORS = {
+    "exp1": gen_exp1,
+    "exp5": gen_exp5,
+    "exp6": gen_exp6,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("names", nargs="*", help="fixtures to regenerate (default: all)")
+    ap.add_argument("--check", action="store_true", help="verify committed goldens instead of rewriting")
+    args = ap.parse_args(argv)
+    unknown = [n for n in args.names if n not in GENERATORS]
+    if unknown:
+        ap.error(f"unknown fixture(s) {unknown}; choose from {sorted(GENERATORS)}")
+    names = args.names or sorted(GENERATORS)
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    stale = []
+    for name in names:
+        text = GENERATORS[name]()
+        path = GOLDEN_DIR / f"{name}.json"
+        if args.check:
+            if not path.exists() or path.read_text() != text:
+                stale.append(name)
+                print(f"STALE: {path.relative_to(REPO)}")
+            else:
+                print(f"ok: {path.relative_to(REPO)}")
+        else:
+            path.write_text(text)
+            print(f"wrote {path.relative_to(REPO)} ({len(text)} bytes)")
+    if stale:
+        print(f"\n{len(stale)} stale golden(s); regenerate with: PYTHONPATH=src python tools/regen_goldens.py")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
