@@ -12,6 +12,8 @@ Cloud Storage Systems with Wide-Stripe Erasure Coding"* (Yu et al., IPDPS
 * :mod:`repro.system` — the coordinator/agent storage system (OpenEC/HDFS
   stand-in),
 * :mod:`repro.faults` — fault schedules, injection, and degraded repair,
+* :mod:`repro.sched` — concurrent repair jobs with admission control and
+  weighted bandwidth sharing,
 * :mod:`repro.obs` — opt-in spans, metrics, and repair-timeline export,
 * :mod:`repro.analysis` / :mod:`repro.experiments` — every table and figure
   of the paper's evaluation.
@@ -44,6 +46,7 @@ from repro.repair import (
     Workspace,
 )
 from repro.system import Coordinator
+from repro.sched import AdmissionPolicy, RepairJob, RepairScheduler, SchedulerReport
 from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.experiments import build_scenario, plan_for, transfer_time
 
@@ -74,6 +77,10 @@ __all__ = [
     "PlanExecutor",
     "Workspace",
     "Coordinator",
+    "AdmissionPolicy",
+    "RepairJob",
+    "RepairScheduler",
+    "SchedulerReport",
     "MetricsRegistry",
     "Observability",
     "Tracer",

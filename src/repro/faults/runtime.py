@@ -48,6 +48,46 @@ from repro.simnet.fluid import FluidSimulator
 
 _MAX_ROUNDS = 32  # safety net: schedules are finite, rounds must terminate
 
+#: default ceiling on one exponential-backoff delay (seconds).  Without a cap
+#: ``base * 2**attempt`` reaches minutes within a handful of retries and a
+#: single flaky stripe can stall a whole storm round.
+DEFAULT_MAX_BACKOFF_S = 30.0
+
+
+def backoff_delay(
+    attempt: int,
+    base_s: float,
+    max_s: float = DEFAULT_MAX_BACKOFF_S,
+    jitter_frac: float = 0.0,
+    seed: int = 0,
+    key: int = 0,
+) -> float:
+    """Capped exponential backoff with deterministic seed-derived jitter.
+
+    ``attempt`` is 1-based; the un-jittered sequence is
+    ``min(base_s * 2**(attempt-1), max_s)``.  With ``jitter_frac > 0`` the
+    delay is scaled by a factor drawn uniformly from
+    ``[1 - jitter_frac, 1 + jitter_frac]`` using a generator seeded from
+    ``(seed, key, attempt)`` — the same inputs always produce the same
+    delay, so fault-injected runs stay replayable, while different stripes
+    (different ``key``) desynchronize instead of retrying in lockstep.
+    The ceiling is strict: jitter never pushes a delay above ``max_s``.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    if base_s < 0 or max_s < 0:
+        raise ValueError("backoff times must be non-negative")
+    if not 0.0 <= jitter_frac < 1.0:
+        raise ValueError(f"jitter_frac must be in [0, 1), got {jitter_frac}")
+    # cap the exponent too: 2**attempt overflows floats near attempt ~ 1024
+    delay = max_s if base_s and attempt > 64 else min(base_s * 2 ** (attempt - 1), max_s)
+    if jitter_frac:
+        import numpy as np
+
+        u = np.random.default_rng([seed, key, attempt]).random()
+        delay *= 1.0 + jitter_frac * (2.0 * u - 1.0)
+    return min(delay, max_s)
+
 
 @dataclass
 class FaultRepairReport:
@@ -98,12 +138,18 @@ class FaultRuntime:
         max_retries: int = 8,
         base_backoff_s: float = 0.5,
         plan_timeout_s: float | None = None,
+        max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
+        backoff_jitter: float = 0.0,
+        backoff_seed: int = 0,
     ):
         self.coord = coord
         self.injector = injector
         self.max_retries = max_retries
         self.base_backoff_s = base_backoff_s
         self.plan_timeout_s = plan_timeout_s
+        self.max_backoff_s = max_backoff_s
+        self.backoff_jitter = backoff_jitter
+        self.backoff_seed = backoff_seed
         self._replacements: dict[int, int] | None = None
         self._replacements_all: dict[int, int] = {}
         self._events: list[FaultEvent] = []
@@ -255,28 +301,11 @@ class FaultRuntime:
     def _common_split(self, work: list[tuple[int, RepairContext, int]]) -> float | None:
         """The §IV-C shared HMBR split over all stripes of one round.
 
-        Mirrors :meth:`Coordinator.repair` so an empty schedule reproduces
-        its exact plans; re-plans after mid-round failures fall back to the
-        per-stripe split.
+        Delegates to :meth:`Coordinator._common_hmbr_split` so an empty
+        schedule reproduces its exact plans; re-plans after mid-round
+        failures fall back to the per-stripe split.
         """
-        if len(work) < 2:
-            return None
-        from repro.repair._build import add_centralized, add_independent
-        from repro.repair.split import scaled_split_tasks, search_split
-        from repro.repair.topology import build_chain_paths
-
-        cr_all, ir_all = [], []
-        for _, ctx, center in work:
-            cr_t, _, _ = add_centralized(ctx, ctx.prefix("h.cr"), 0.0, 1.0, center)
-            ir_t, _, _ = add_independent(
-                ctx, ctx.prefix("h.ir"), 0.0, 1.0, build_chain_paths(ctx)
-            )
-            cr_all.extend(cr_t)
-            ir_all.extend(ir_t)
-        p, _ = search_split(
-            lambda q: scaled_split_tasks(cr_all, ir_all, q), self.coord.cluster
-        )
-        return p
+        return self.coord._common_hmbr_split(work)
 
     # ---------------------------------------------------------------- #
     # execution
@@ -394,7 +423,14 @@ class FaultRuntime:
                 self.retries += 1
                 if attempt > self.max_retries:
                     raise RepairAborted(sid, attempt, err) from err
-                backoff = self.base_backoff_s * 2 ** (attempt - 1)
+                backoff = backoff_delay(
+                    attempt,
+                    self.base_backoff_s,
+                    max_s=self.max_backoff_s,
+                    jitter_frac=self.backoff_jitter,
+                    seed=self.backoff_seed,
+                    key=sid,
+                )
                 flap_until = getattr(err, "until", None)
                 if flap_until is not None:
                     # no point retrying inside the flap window
@@ -428,8 +464,48 @@ class FaultRuntime:
                 plan, ctx_center, using_prebuilt = None, None, False
 
     # ---------------------------------------------------------------- #
-    # entry point
+    # entry points
     # ---------------------------------------------------------------- #
+    def repair_stripes(
+        self, sids, scheme: str = "hmbr", verify: bool = True
+    ) -> list[tuple[int, RepairPlan]]:
+        """Repair only the given stripes to completion under the injector.
+
+        The job-scoped entry point used by :mod:`repro.sched`: one scheduler
+        job's stripes run through exactly the per-stripe journal / backoff /
+        re-plan machinery of :meth:`repair`, but other affected stripes are
+        left alone (they belong to other jobs).  Rounds repeat until none of
+        ``sids`` is missing blocks; returns the committed ``(stripe id,
+        plan)`` pairs (a stripe re-broken by a later fault appears once per
+        committed plan).  The caller owns injector attachment and the final
+        timing-plane simulation.
+        """
+        wanted = set(sids)
+        committed: list[tuple[int, RepairPlan]] = []
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > _MAX_ROUNDS:  # pragma: no cover - safety net
+                raise RuntimeError("job-scoped fault-aware repair did not converge")
+            self._sync_fired()
+            dead = self.coord.cluster.dead_ids()
+            affected = self.coord.layout.stripes_with_failures(dead)
+            todo = sorted(wanted & set(affected))
+            if not todo:
+                break
+            self._replacements = None  # one fresh spare map per round
+            work: list[tuple[int, RepairContext, int]] = []
+            for sid in todo:
+                built = self._build_ctx(sid)
+                if built is not None:
+                    work.append((sid, built[0], built[1]))
+            p = self._common_split(work) if scheme == "hmbr" else None
+            for sid, ctx, center in work:
+                plan = self._repair_stripe(sid, scheme, verify, (ctx, center), p)
+                if plan is not None:
+                    committed.append((sid, plan))
+        return committed
+
     def repair(self, scheme: str = "hmbr", verify: bool = True) -> FaultRepairReport:
         coord = self.coord
         injector = self.injector

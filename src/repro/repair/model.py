@@ -149,6 +149,40 @@ def volume_split(
     """
     if center is None:
         center = default_center(ctx)
+    lines = _volume_lines(ctx, center, chain_order)
+
+    def t_at(p: float) -> float:
+        return max(s * p + i for s, i in lines)
+
+    candidates = {0.0, 1.0}
+    for i, (s1, i1) in enumerate(lines):
+        for s2, i2 in lines[i + 1 :]:
+            # Near-parallel lines make (i2-i1)/(s1-s2) ill-conditioned: a
+            # slope difference at rounding-noise scale can throw the
+            # intersection to a wild p that floating error then lands inside
+            # (0, 1).  Skip intersections whose slope gap is below a
+            # *relative* tolerance of the slope magnitudes — the optimum of
+            # a convex max-of-lines never sits at such a crossing anyway
+            # (the endpoints and well-separated crossings cover it).
+            denom = s1 - s2
+            scale = max(abs(s1), abs(s2), 1e-12)
+            if abs(denom) <= 1e-9 * scale:
+                continue
+            p = (i2 - i1) / denom
+            if 0.0 < p < 1.0:
+                candidates.add(p)
+    return min(candidates, key=t_at)
+
+
+def _volume_lines(
+    ctx: RepairContext, center: int, chain_order: str = "index"
+) -> list[tuple[float, float]]:
+    """Per-bottleneck finish-time lines ``T = slope * p + intercept``.
+
+    One line per (node, direction) bottleneck of the volume model described
+    in :func:`volume_split`; exposed separately so property tests can
+    evaluate ``T(p)`` at the split the optimizer returns.
+    """
     cl = ctx.cluster
     b = ctx.block_size_mb
     f = ctx.f
@@ -191,18 +225,7 @@ def volume_split(
             continue
         ih = in_hops.get(nn, 0)
         lines.append(((1 - ih) * b / cl[nn].downlink, ih * b / cl[nn].downlink))
-
-    def t_at(p: float) -> float:
-        return max(s * p + i for s, i in lines)
-
-    candidates = {0.0, 1.0}
-    for i, (s1, i1) in enumerate(lines):
-        for s2, i2 in lines[i + 1 :]:
-            if s1 != s2:
-                p = (i2 - i1) / (s1 - s2)
-                if 0.0 < p < 1.0:
-                    candidates.add(p)
-    return min(candidates, key=t_at)
+    return lines
 
 
 @dataclass

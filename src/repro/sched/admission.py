@@ -1,0 +1,95 @@
+"""Admission control for concurrent repair jobs.
+
+The scheduler admits jobs into *waves* — groups that share one fluid
+simulation.  The :class:`AdmissionController` bounds how much repair work
+a wave may stack onto any single node or rack, modelling the production
+constraint that a storage node can serve only so many concurrent
+reconstruction streams before foreground traffic suffers.
+
+Caps are per *job footprint*: a job touching a node counts once against
+that node regardless of how many stripes it repairs there, matching the
+per-job connection pooling a real repair service would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cluster.topology import Cluster
+
+    from repro.sched.job import RepairJob
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Caps on concurrently running repair jobs within one wave.
+
+    ``None`` disables the corresponding cap.  The defaults allow two jobs
+    to share a node — enough to exercise weighted bandwidth sharing while
+    keeping any node from serving an unbounded number of reconstructions.
+    """
+
+    #: max jobs whose footprint includes a given node.
+    max_inflight_per_node: int | None = 2
+    #: max jobs whose footprint touches a given rack.
+    max_inflight_per_rack: int | None = None
+    #: max jobs running in one wave, regardless of placement.
+    max_inflight_total: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_inflight_per_node", "max_inflight_per_rack", "max_inflight_total"):
+            v = getattr(self, name)
+            if v is not None and v < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {v}")
+
+
+class AdmissionController:
+    """Tracks per-node / per-rack / total in-flight jobs within a wave."""
+
+    def __init__(self, cluster: "Cluster", policy: AdmissionPolicy | None = None) -> None:
+        self.cluster = cluster
+        self.policy = policy or AdmissionPolicy()
+        self._node_load: dict[int, int] = {}
+        self._rack_load: dict[int, int] = {}
+        self._total = 0
+
+    def reset_wave(self) -> None:
+        """Forget all in-flight counts; the next wave starts empty."""
+        self._node_load.clear()
+        self._rack_load.clear()
+        self._total = 0
+
+    def _racks_of(self, nodes: Iterable[int]) -> set[int]:
+        return {self.cluster[n].rack for n in nodes}
+
+    def try_admit(self, job: "RepairJob", footprint_nodes: Iterable[int]) -> bool:
+        """Admit ``job`` if its node footprint fits under every cap.
+
+        On success the footprint is charged against the wave's counters and
+        ``True`` is returned; on failure nothing is charged and the caller
+        should retry the job in a later wave.
+        """
+        pol = self.policy
+        nodes = set(footprint_nodes)
+        if pol.max_inflight_total is not None and self._total >= pol.max_inflight_total:
+            return False
+        if pol.max_inflight_per_node is not None:
+            if any(self._node_load.get(n, 0) >= pol.max_inflight_per_node for n in nodes):
+                return False
+        racks = self._racks_of(nodes)
+        if pol.max_inflight_per_rack is not None:
+            if any(self._rack_load.get(r, 0) >= pol.max_inflight_per_rack for r in racks):
+                return False
+        for n in nodes:
+            self._node_load[n] = self._node_load.get(n, 0) + 1
+        for r in racks:
+            self._rack_load[r] = self._rack_load.get(r, 0) + 1
+        self._total += 1
+        return True
+
+    @property
+    def inflight_total(self) -> int:
+        """Jobs admitted into the current wave so far."""
+        return self._total

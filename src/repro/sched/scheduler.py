@@ -1,0 +1,476 @@
+"""Concurrent multi-job repair scheduling over one shared fluid simulation.
+
+:class:`RepairScheduler` queues :class:`~repro.sched.job.RepairJob`\\ s and
+runs them in admission *waves*: every job admitted into a wave has its
+repair plans merged into one task DAG and simulated together, so jobs
+contend for shared links under the fluid simulator's weighted max-min
+allocator.  Per-job task ids are namespaced (``job0:p0:...``) so each
+job's makespan is recovered from the single merged run via
+:meth:`SimulationResult.finish_of
+<repro.simnet.fluid.SimulationResult.finish_of>`.
+
+Key invariants:
+
+* **Sequential equivalence** — a single submitted job executes the exact
+  planning/dispatch code path of :meth:`Coordinator.repair
+  <repro.system.coordinator.Coordinator.repair>` (same center-scheduler
+  pick order, same common HMBR split, same data-plane ops), so repaired
+  bytes are bit-identical and the makespan matches to float precision
+  (task renaming does not perturb the fluid solve).
+* **Weighted sharing** — a job's priority class maps to a flow weight
+  (:data:`~repro.sched.job.PRIORITY_WEIGHTS`); concurrent jobs split
+  shared links in proportion to those weights, and jobs with disjoint
+  footprints finish as if running alone.
+* **Fault tolerance** — with a fault injector, each admitted job runs
+  through :meth:`FaultRuntime.repair_stripes
+  <repro.faults.runtime.FaultRuntime.repair_stripes>`, reusing the
+  journal / backoff / re-plan machinery; a job whose helpers die is
+  re-planned within its wave, and unrecoverable jobs fail without
+  aborting their peers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.repair.plan import RepairPlan, rename_plan, reweighted
+from repro.sched.admission import AdmissionController, AdmissionPolicy
+from repro.sched.job import (
+    ADMITTED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    RepairJob,
+    weight_for,
+)
+from repro.simnet.fluid import FluidSimulator
+from repro.simnet.flows import DelayTask
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.system.coordinator import Coordinator
+
+#: waves are bounded: every wave admits at least one job or completes the
+#: queue, so this is a pure safety net against admission-logic bugs.
+_MAX_WAVES = 10_000
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of one :meth:`RepairScheduler.run_pending` call."""
+
+    #: every job the call processed, in submission order.
+    jobs: list[RepairJob]
+    #: number of admission waves (merged simulations) that ran.
+    waves: int
+    #: total simulated time across all waves.
+    makespan_s: float
+    #: job id -> simulated finish time (on the scheduler-global clock).
+    per_job_finish_s: dict[str, float]
+    blocks_recovered: int
+    bytes_on_wire_mb_model: float
+    #: jobs still queued when the call returned (always 0 today).
+    queue_depth_after: int
+    #: total fluid-solver rate recomputations across all waves.
+    n_rate_updates: int
+
+    @property
+    def done(self) -> list[RepairJob]:
+        """Jobs that completed successfully."""
+        return [j for j in self.jobs if j.state == DONE]
+
+    @property
+    def failed(self) -> list[RepairJob]:
+        """Jobs that failed (unrecoverable stripes, retry exhaustion)."""
+        return [j for j in self.jobs if j.state == FAILED]
+
+
+class RepairScheduler:
+    """Admission-controlled concurrent repair-job scheduler.
+
+    Obtain one via :attr:`Coordinator.sched
+    <repro.system.coordinator.Coordinator.sched>`; submit jobs with
+    :meth:`submit` (or :meth:`Coordinator.submit_repair
+    <repro.system.coordinator.Coordinator.submit_repair>`) and execute the
+    queue with :meth:`run_pending`.
+    """
+
+    def __init__(
+        self, coord: "Coordinator", policy: AdmissionPolicy | None = None
+    ) -> None:
+        self.coord = coord
+        self.admission = AdmissionController(coord.cluster, policy)
+        self._seq = 0
+        self._queue: list[RepairJob] = []
+        #: every job ever submitted, for inspection.
+        self.jobs: list[RepairJob] = []
+
+    # -------------------------------------------------------------- #
+    # submission
+    # -------------------------------------------------------------- #
+    @property
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet run."""
+        return len(self._queue)
+
+    def submit(
+        self,
+        scheme: str = "hmbr",
+        *,
+        stripes=None,
+        priority: str = "normal",
+        weight: float | None = None,
+        arrival_s: float = 0.0,
+    ) -> RepairJob:
+        """Queue a repair job; nothing executes until :meth:`run_pending`.
+
+        ``stripes`` limits the job to those stripe ids (``None`` = every
+        stripe affected at admission time).  ``priority`` picks the flow
+        weight unless ``weight`` overrides it.  ``arrival_s`` delays the
+        job's flows within its wave's simulation, modelling staggered
+        submission.
+        """
+        job = RepairJob(
+            job_id=f"job{self._seq}",
+            scheme=scheme,
+            priority=priority,
+            weight=weight_for(priority, weight),
+            stripes=None if stripes is None else tuple(stripes),
+            arrival_s=arrival_s,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._queue.append(job)
+        self.jobs.append(job)
+        obs = self.coord.obs
+        if obs is not None:
+            obs.metrics.counter("sched.jobs_submitted").inc()
+            obs.metrics.gauge("sched.queue_depth").set(len(self._queue))
+        return job
+
+    # -------------------------------------------------------------- #
+    # execution
+    # -------------------------------------------------------------- #
+    def run_pending(self, *, verify: bool = True, faults=None, events=()):
+        """Admit and run every queued job; returns a :class:`SchedulerReport`.
+
+        Jobs are admitted in priority order (FIFO within a class) until the
+        :class:`~repro.sched.admission.AdmissionPolicy` caps fill; the
+        remainder wait for the next wave.  Each wave plans and dispatches
+        its jobs through the coordinator's shared repair helpers, then runs
+        one merged :class:`~repro.simnet.fluid.FluidSimulator` pass in which
+        the jobs' flows contend at their priority weights.  Wave ``i + 1``
+        starts at the simulated instant wave ``i`` finished, so
+        ``per_job_finish_s`` values live on one global clock.
+
+        ``faults`` (a :class:`~repro.faults.schedule.FaultSchedule` or
+        prepared :class:`~repro.faults.injector.FaultInjector`) routes each
+        job's data plane through the fault runtime's journal/backoff/replan
+        machinery.  ``events`` are :class:`~repro.simnet.dynamic.
+        BandwidthEvent`\\ s on the scheduler-global clock.
+        """
+        coord = self.coord
+        obs = coord.obs
+        run = list(self._queue)
+        self._queue.clear()
+
+        runtime, injector = self._fault_runtime(faults)
+        root = None
+        if obs is not None:
+            root = obs.tracer.begin(
+                "sched.run_pending", actor="scheduler", cat="sched",
+                jobs=[j.job_id for j in run], faults=injector is not None,
+            )
+        if injector is not None:
+            injector.attach(coord.bus)
+        try:
+            report = self._run_waves(run, verify, runtime, events)
+        finally:
+            if injector is not None:
+                injector.detach(coord.bus)
+            if root is not None:
+                obs.tracer.unwind(root)
+        if obs is not None:
+            m = obs.metrics
+            m.gauge("sched.queue_depth").set(len(self._queue))
+            m.counter("sched.waves").inc(report.waves)
+            m.counter("sched.jobs_done").inc(len(report.done))
+            m.counter("sched.jobs_failed").inc(len(report.failed))
+            for job in report.jobs:
+                if job.makespan_s is not None:
+                    m.histogram("sched.job_makespan_s").observe(job.makespan_s)
+                m.histogram("sched.job_wait_waves").observe(job.queue_wait_waves)
+        return report
+
+    def _fault_runtime(self, faults):
+        """Build (FaultRuntime, FaultInjector) from ``faults`` (or Nones)."""
+        if faults is None:
+            return None, None
+        from repro.faults.injector import FaultInjector
+        from repro.faults.runtime import FaultRuntime
+        from repro.faults.schedule import FaultSchedule
+
+        if isinstance(faults, FaultSchedule):
+            injector = FaultInjector(faults, tick_s=0.001)
+        else:
+            injector = faults
+        return FaultRuntime(self.coord, injector), injector
+
+    def _run_waves(self, run, verify, runtime, events) -> SchedulerReport:
+        coord = self.coord
+        obs = coord.obs
+        pending = sorted(run, key=RepairJob.priority_rank)
+        offset = 0.0
+        waves = 0
+        n_updates = 0
+        while pending:
+            waves += 1
+            if waves > _MAX_WAVES:  # pragma: no cover - safety net
+                raise RuntimeError("scheduler did not drain its queue")
+            wave_span = None
+            if obs is not None:
+                wave_span = obs.tracer.begin(
+                    f"sched.wave:{waves}", actor="scheduler", cat="sched",
+                    wave=waves, pending=[j.job_id for j in pending],
+                )
+            try:
+                admitted, pending = self._admit_wave(pending, waves, offset)
+                if obs is not None:
+                    obs.metrics.gauge("sched.wave_admitted").set(len(admitted))
+                    obs.metrics.counter("sched.jobs_admitted").inc(len(admitted))
+                sim = self._run_wave(admitted, verify, runtime, events, offset)
+                if sim is not None:
+                    n_updates += sim.n_rate_updates
+                    self._finish_wave(admitted, sim, offset)
+                    offset += sim.makespan
+                else:
+                    self._finish_wave(admitted, None, offset)
+            finally:
+                if wave_span is not None:
+                    obs.tracer.unwind(wave_span)
+        return SchedulerReport(
+            jobs=list(run),
+            waves=waves,
+            makespan_s=offset,
+            per_job_finish_s={
+                j.job_id: j.finish_s for j in run if j.finish_s is not None
+            },
+            blocks_recovered=sum(j.blocks_recovered for j in run),
+            bytes_on_wire_mb_model=sum(j.bytes_on_wire_mb_model for j in run),
+            queue_depth_after=len(self._queue),
+            n_rate_updates=n_updates,
+        )
+
+    # -------------------------------------------------------------- #
+    # one wave: admit -> plan/dispatch -> merged simulation
+    # -------------------------------------------------------------- #
+    def _admit_wave(self, pending, wave, offset):
+        """Admit as many pending jobs as the policy allows.
+
+        Returns ``(admitted, still_pending)`` where each admitted entry is
+        ``(job, affected, replacement_of)``.  Spare reservations are shared
+        across the wave: two jobs repairing stripes hit by the same dead
+        node use the same replacement, mirroring :meth:`Coordinator.repair`.
+        """
+        coord = self.coord
+        self.admission.reset_wave()
+        dead = coord.cluster.dead_ids()
+        affected_all = coord.layout.stripes_with_failures(dead)
+        stripes_map = {s.stripe_id: s for s in coord.layout}
+
+        wave_replacements: dict[int, int] = {}
+        reserved: set[int] = set()
+        admitted: list[tuple[RepairJob, dict[int, list[int]], dict[int, int]]] = []
+        deferred: list[RepairJob] = []
+        for job in pending:
+            affected = {
+                sid: blocks
+                for sid, blocks in affected_all.items()
+                if job.stripes is None or sid in job.stripes
+            }
+            # Exclude stripes a previously admitted wave-mate already
+            # claimed this wave: first-come ownership, no double repair.
+            for other, other_affected, _ in admitted:
+                for sid in other_affected:
+                    affected.pop(sid, None)
+            if not affected:
+                # Nothing (left) to repair: the job completes trivially.
+                job.transition(ADMITTED)
+                job.wave = wave
+                job.admitted_s = offset
+                admitted.append((job, affected, {}))
+                continue
+
+            dead_wb = coord._dead_with_blocks(affected)
+            need = [d for d in dead_wb if d not in wave_replacements]
+            free = [s for s in coord._free_spares() if s not in reserved]
+            if len(need) > len(free):
+                raise RuntimeError(
+                    f"job {job.job_id}: {len(need)} dead nodes need spares "
+                    f"but only {len(free)} are free"
+                )
+            fresh = coord._assign_spares(need, free)
+            replacement_of = {
+                d: wave_replacements.get(d, fresh.get(d)) for d in dead_wb
+            }
+            footprint = self._footprint(affected, replacement_of, stripes_map)
+            if not self.admission.try_admit(job, footprint):
+                job.queue_wait_waves += 1
+                deferred.append(job)
+                continue
+            wave_replacements.update(fresh)
+            reserved.update(fresh.values())
+            job.transition(ADMITTED)
+            job.wave = wave
+            job.admitted_s = offset
+            admitted.append((job, affected, replacement_of))
+        return admitted, deferred
+
+    @staticmethod
+    def _footprint(affected, replacement_of, stripes_map) -> set[int]:
+        """Every node a job's repair will touch: survivors + replacements."""
+        nodes: set[int] = set(replacement_of.values())
+        for sid, failed in affected.items():
+            placement = stripes_map[sid].placement
+            failed_set = set(failed)
+            nodes.update(
+                n for b, n in enumerate(placement) if b not in failed_set
+            )
+        return nodes
+
+    def _run_wave(self, admitted, verify, runtime, events, offset):
+        """Plan + dispatch every admitted job, then simulate them merged."""
+        coord = self.coord
+        obs = coord.obs
+        all_tasks = []
+        finish_index: dict[str, list[tuple[int, str]]] = {}
+        for job, affected, replacement_of in admitted:
+            job.transition(RUNNING)
+            if not affected:
+                continue
+            try:
+                plans = self._dispatch_job(job, affected, replacement_of, verify, runtime)
+            except Exception as err:  # noqa: BLE001 - job isolation boundary
+                from repro.faults.errors import RepairAborted, StripeUnrecoverable
+
+                if not isinstance(err, (RepairAborted, StripeUnrecoverable)):
+                    raise
+                job.transition(FAILED)
+                job.error = f"{type(err).__name__}: {err}"
+                if obs is not None:
+                    obs.tracer.instant(
+                        f"sched.job_failed:{job.job_id}", actor="scheduler",
+                        cat="sched", job=job.job_id, error=job.error,
+                    )
+                continue
+            job.stripes_repaired = sorted({sid for sid, _ in plans})
+            job.blocks_recovered = sum(len(b) for b in affected.values())
+            job.bytes_on_wire_mb_model = sum(
+                p.total_transfer_mb() for _, p in plans
+            )
+            for sid, _ in plans:
+                job.attempts[sid] = job.attempts.get(sid, 0) + 1
+            all_tasks.extend(self._sim_tasks(job, plans, finish_index))
+        if not all_tasks:
+            return None
+        shifted = [
+            dataclasses.replace(e, time=max(e.time - offset, 0.0)) for e in events
+        ]
+        sim = FluidSimulator(coord.cluster).run(
+            all_tasks,
+            events=shifted,
+            tracer=obs.tracer if obs is not None else None,
+            trace_label=f"sched.sim@{offset:g}",
+        )
+        for job_id, prefixes in finish_index.items():
+            job = next(j for j, _, _ in admitted if j.job_id == job_id)
+            for sid, prefix in prefixes:
+                t = sim.finish_of(prefix)
+                prev = job.per_stripe_transfer_s.get(sid)
+                job.per_stripe_transfer_s[sid] = t if prev is None else max(prev, t)
+        return sim
+
+    def _dispatch_job(
+        self, job, affected, replacement_of, verify, runtime
+    ) -> list[tuple[int, RepairPlan]]:
+        """Data plane for one job; returns its committed (sid, plan) pairs."""
+        coord = self.coord
+        obs = coord.obs
+        job_span = None
+        if obs is not None:
+            job_span = obs.tracer.begin(
+                f"sched.job:{job.job_id}", actor="scheduler", cat="sched",
+                job=job.job_id, scheme=job.scheme, priority=job.priority,
+                stripes=sorted(affected),
+            )
+        try:
+            if runtime is not None:
+                return runtime.repair_stripes(
+                    sorted(affected), scheme=job.scheme, verify=verify
+                )
+            stripes_map = {s.stripe_id: s for s in coord.layout}
+            work = coord._build_work(affected, replacement_of)
+            common_p = coord._common_hmbr_split(work) if job.scheme == "hmbr" else None
+            planned = coord._plan_work(work, job.scheme, common_p)
+            for sid, plan, _ in planned:
+                coord._commit_plan(sid, plan, stripes_map, verify)
+            for agent in coord.agents.values():
+                agent.clear_scratch()
+            return [(sid, plan) for sid, plan, _ in planned]
+        finally:
+            if job_span is not None:
+                obs.tracer.unwind(job_span)
+
+    def _sim_tasks(self, job, plans, finish_index):
+        """Rename + reweight a job's plan tasks for the merged simulation.
+
+        Task ids become ``<job_id>:p<i>:<original>`` so
+        ``finish_of(job_id)`` recovers the job makespan and
+        ``finish_of(f"{job_id}:p{i}")`` each plan's.  A positive
+        ``arrival_s`` inserts a :class:`~repro.simnet.flows.DelayTask` that
+        gates the job's root tasks.
+        """
+        tasks = []
+        prefixes = finish_index.setdefault(job.job_id, [])
+        arrival_id = None
+        if job.arrival_s > 0:
+            arrival_id = f"{job.job_id}:arrival"
+            tasks.append(DelayTask(arrival_id, job.arrival_s, tag="sched"))
+        for i, (sid, plan) in enumerate(plans):
+            p = reweighted(plan, job.weight) if job.weight != 1.0 else plan
+            p = rename_plan(p, f"{job.job_id}:p{i}:")
+            prefixes.append((sid, f"{job.job_id}:p{i}"))
+            for t in p.tasks:
+                if arrival_id is not None and not t.deps:
+                    t = dataclasses.replace(t, deps=(arrival_id,))
+                tasks.append(t)
+        return tasks
+
+    def _finish_wave(self, admitted, sim, offset) -> None:
+        """Record per-job finish times from the wave's merged simulation."""
+        coord = self.coord
+        obs = coord.obs
+        for job, affected, _ in admitted:
+            if job.state != RUNNING:
+                if job.state == ADMITTED:  # trivially-empty job
+                    job.transition(RUNNING)
+                    job.transition(DONE)
+                    job.finish_s = offset
+                continue
+            if sim is not None and affected:
+                try:
+                    job.finish_s = offset + sim.finish_of(job.job_id)
+                except KeyError:  # pragma: no cover - defensive
+                    job.finish_s = offset
+            else:
+                job.finish_s = offset
+            job.transition(DONE)
+            if obs is not None:
+                obs.tracer.add(
+                    f"sched.job:{job.job_id}", actor="scheduler", cat="sched.sim",
+                    t0=job.admitted_s or 0.0, t1=job.finish_s,
+                    job=job.job_id, wave=job.wave, priority=job.priority,
+                    stripes=job.stripes_repaired,
+                )

@@ -39,10 +39,21 @@ class SimulationResult:
     trace: list[tuple[float, float, dict[str, float]]] | None = None
 
     def finish_of(self, tag: str) -> float:
-        """Latest finish time among tasks with the given tag."""
-        times = [t for tid, t in self.finish_times.items() if tid.startswith(tag)]
+        """Latest finish time among tasks in the ``tag`` namespace.
+
+        A task belongs to the namespace when its id *is* ``tag`` or starts
+        with ``tag`` followed by the ``:`` delimiter, so ``finish_of("cr")``
+        never collects ``"cr2:..."`` or ``"cr_local:..."`` tasks the way a
+        bare prefix match would.
+        """
+        prefix = tag if tag.endswith(":") else tag + ":"
+        times = [
+            t
+            for tid, t in self.finish_times.items()
+            if tid == tag or tid.startswith(prefix)
+        ]
         if not times:
-            raise KeyError(f"no task ids start with {tag!r}")
+            raise KeyError(f"no task ids in the {tag!r} namespace")
         return max(times)
 
     def tag_finish(self, tasks: list[Task], tag: str) -> float:
@@ -296,7 +307,11 @@ class FluidSimulator:
         trace: list[tuple[float, float, dict[str, float]]] | None = (
             [] if record_trace else None
         )
+        # events are drained through an index cursor: ``list.pop(0)`` is
+        # O(n) per event, quadratic over the dense event streams the repair
+        # scheduler emits (one boundary per job arrival / bandwidth change)
         pending_events = sorted(events, key=lambda e: e.time)
+        next_event = 0
         by_id = validate_tasks(tasks)
         n_deps_left = {tid: len(t.deps) for tid, t in by_id.items()}
         dependents: dict[str, list[str]] = {tid: [] for tid in by_id}
@@ -359,8 +374,9 @@ class FluidSimulator:
 
         while active:
             # apply any bandwidth events that are due
-            while pending_events and pending_events[0].time <= now + _EPS:
-                event = pending_events.pop(0)
+            while next_event < len(pending_events) and pending_events[next_event].time <= now + _EPS:
+                event = pending_events[next_event]
+                next_event += 1
                 for key, cap in event.capacity_updates().items():
                     if key in res_caps:
                         res_caps[key].capacity = cap
@@ -408,8 +424,8 @@ class FluidSimulator:
             if not math.isfinite(dt):
                 raise AssertionError("deadlock: active flows but no progress possible")
             # never integrate past the next bandwidth event
-            if pending_events:
-                dt = min(dt, max(pending_events[0].time - now, _EPS))
+            if next_event < len(pending_events):
+                dt = min(dt, max(pending_events[next_event].time - now, _EPS))
             if trace is not None:
                 trace.append((now, now + dt, dict(rates)))
             # advance

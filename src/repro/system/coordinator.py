@@ -128,6 +128,8 @@ class Coordinator:
         #: optional :class:`repro.obs.Observability` session (see its
         #: ``attach``); ``None`` means every instrumentation point is a no-op.
         self.obs = None
+        #: lazily-created concurrent repair scheduler (see :attr:`sched`).
+        self._sched = None
 
     # -------------------------------------------------------------- #
     # membership
@@ -271,10 +273,8 @@ class Coordinator:
                 batched=batched,
             )
         try:
-            dead_with_blocks = sorted(
-                {s.placement[b] for s in self.layout for b in affected.get(s.stripe_id, []) if s.stripe_id in affected}
-            )
-            free_spares = [s for s in self.spares if self.cluster[s].alive and len(self.agents[s].store) == 0]
+            dead_with_blocks = self._dead_with_blocks(affected)
+            free_spares = self._free_spares()
             if len(dead_with_blocks) > len(free_spares):
                 raise RuntimeError(
                     f"{len(dead_with_blocks)} dead nodes but only {len(free_spares)} free spares"
@@ -287,55 +287,16 @@ class Coordinator:
                     "plan", actor="coordinator", cat="plan", scheme=scheme,
                 )
             stripes = {s.stripe_id: s for s in self.layout}
-            work: list[tuple[int, RepairContext, int]] = []
-            for sid, failed in sorted(affected.items()):
-                stripe = stripes[sid]
-                new_nodes = [replacement_of[stripe.placement[b]] for b in failed]
-                ctx = RepairContext(
-                    cluster=self.cluster,
-                    code=self.code,
-                    stripe=stripe,
-                    failed_blocks=failed,
-                    new_nodes=new_nodes,
-                    block_size_mb=self.block_size_mb,
-                )
-                center = self.center_scheduler.pick(new_nodes)
-                work.append((sid, ctx, center))
+            work = self._build_work(affected, replacement_of)
 
             # For HMBR with several stripes repairing in parallel, a per-stripe
             # split is miscalibrated (it ignores the other stripes on the same
             # links); search one common p over the merged task graph instead.
-            common_p: float | None = None
-            if scheme == "hmbr" and len(work) > 1:
-                from repro.repair._build import add_centralized, add_independent
-                from repro.repair.split import scaled_split_tasks, search_split
-                from repro.repair.topology import build_chain_paths
-
-                cr_all, ir_all = [], []
-                for _, ctx, center in work:
-                    cr_t, _, _ = add_centralized(ctx, ctx.prefix("h.cr"), 0.0, 1.0, center)
-                    ir_t, _, _ = add_independent(
-                        ctx, ctx.prefix("h.ir"), 0.0, 1.0, build_chain_paths(ctx)
-                    )
-                    cr_all.extend(cr_t)
-                    ir_all.extend(ir_t)
-                common_p, _ = search_split(
-                    lambda q: scaled_split_tasks(cr_all, ir_all, q), self.cluster
-                )
+            common_p = self._common_hmbr_split(work) if scheme == "hmbr" else None
 
             all_tasks = []
-            plans: list[tuple[int, RepairPlan, RepairContext]] = []
-            for sid, ctx, center in work:
-                if scheme == "hmbr" and common_p is not None:
-                    plan = plan_hybrid(ctx, center=center, p=common_p)
-                elif scheme == "auto":
-                    from repro.repair.selector import choose_scheme
-
-                    plan = choose_scheme(ctx).plan
-                else:
-                    plan = _PLANNERS[scheme](ctx, center)
-                validate_plan(plan, ctx)  # refuse to dispatch an inconsistent solution
-                plans.append((sid, plan, ctx))
+            plans = self._plan_work(work, scheme, common_p)
+            for _, plan, _ in plans:
                 all_tasks.extend(plan.tasks)
             if plan_span is not None:
                 obs.tracer.end(
@@ -354,24 +315,7 @@ class Coordinator:
                 pattern_groups = self._dispatch_batched(plans, centers, stripes, verify)
             else:
                 for sid, plan, ctx in plans:
-                    stripe_span = None
-                    if obs is not None:
-                        stripe_span = obs.tracer.begin(
-                            f"stripe:{sid}", actor="coordinator", cat="dispatch",
-                            stripe=sid, scheme=plan.scheme, ops=len(plan.ops),
-                        )
-                    try:
-                        run_plan_ops(plan.ops, self.agents, self.bus)
-                        for fb, (node, buf) in plan.outputs.items():
-                            agent = self.agents[node]
-                            repaired = agent.scratch[buf]
-                            agent.store_block(block_name(sid, fb), repaired, overwrite=True)
-                            stripes[sid].placement[fb] = node
-                        if verify:
-                            self._verify_stripe(sid)
-                    finally:
-                        if stripe_span is not None:
-                            obs.tracer.end(stripe_span)
+                    self._commit_plan(sid, plan, stripes, verify)
             for agent in self.agents.values():
                 agent.clear_scratch()
 
@@ -415,6 +359,173 @@ class Coordinator:
                 m.histogram("repair.stripe_transfer_s").observe(t)
         return report
 
+    # -------------------------------------------------------------- #
+    # repair planning/dispatch helpers (shared with repro.sched)
+    # -------------------------------------------------------------- #
+    def _free_spares(self) -> list[int]:
+        """Alive spares with empty stores, usable as repair targets."""
+        return [
+            s
+            for s in self.spares
+            if self.cluster[s].alive and len(self.agents[s].store) == 0
+        ]
+
+    def _dead_with_blocks(self, affected: dict[int, list[int]]) -> list[int]:
+        """Dead nodes that actually held blocks of the affected stripes."""
+        stripes = {s.stripe_id: s for s in self.layout}
+        return sorted(
+            {
+                stripes[sid].placement[b]
+                for sid, blocks in affected.items()
+                for b in blocks
+            }
+        )
+
+    def _build_work(
+        self, affected: dict[int, list[int]], replacement_of: dict[int, int]
+    ) -> list[tuple[int, RepairContext, int]]:
+        """Repair contexts + LFS/LRS centers for the affected stripes.
+
+        Stripes are visited in sorted id order so the stateful center
+        scheduler makes the same picks for the same failure set regardless
+        of which path (``repair`` or a scheduler job) asks.
+        """
+        stripes = {s.stripe_id: s for s in self.layout}
+        work: list[tuple[int, RepairContext, int]] = []
+        for sid, failed in sorted(affected.items()):
+            stripe = stripes[sid]
+            new_nodes = [replacement_of[stripe.placement[b]] for b in failed]
+            ctx = RepairContext(
+                cluster=self.cluster,
+                code=self.code,
+                stripe=stripe,
+                failed_blocks=failed,
+                new_nodes=new_nodes,
+                block_size_mb=self.block_size_mb,
+            )
+            center = self.center_scheduler.pick(new_nodes)
+            work.append((sid, ctx, center))
+        return work
+
+    def _common_hmbr_split(
+        self, work: list[tuple[int, RepairContext, int]]
+    ) -> float | None:
+        """One shared HMBR split ratio over all stripes of a round (§IV-C).
+
+        Returns ``None`` for fewer than two stripes (the per-stripe split is
+        already exact there).
+        """
+        if len(work) < 2:
+            return None
+        from repro.repair._build import add_centralized, add_independent
+        from repro.repair.split import scaled_split_tasks, search_split
+        from repro.repair.topology import build_chain_paths
+
+        cr_all, ir_all = [], []
+        for _, ctx, center in work:
+            cr_t, _, _ = add_centralized(ctx, ctx.prefix("h.cr"), 0.0, 1.0, center)
+            ir_t, _, _ = add_independent(
+                ctx, ctx.prefix("h.ir"), 0.0, 1.0, build_chain_paths(ctx)
+            )
+            cr_all.extend(cr_t)
+            ir_all.extend(ir_t)
+        common_p, _ = search_split(
+            lambda q: scaled_split_tasks(cr_all, ir_all, q), self.cluster
+        )
+        return common_p
+
+    def _plan_work(
+        self,
+        work: list[tuple[int, RepairContext, int]],
+        scheme: str,
+        common_p: float | None,
+    ) -> list[tuple[int, RepairPlan, RepairContext]]:
+        """Run the configured planner over the work list and validate."""
+        plans: list[tuple[int, RepairPlan, RepairContext]] = []
+        for sid, ctx, center in work:
+            if scheme == "hmbr" and common_p is not None:
+                plan = plan_hybrid(ctx, center=center, p=common_p)
+            elif scheme == "auto":
+                from repro.repair.selector import choose_scheme
+
+                plan = choose_scheme(ctx).plan
+            else:
+                plan = _PLANNERS[scheme](ctx, center)
+            validate_plan(plan, ctx)  # refuse to dispatch an inconsistent solution
+            plans.append((sid, plan, ctx))
+        return plans
+
+    def _commit_plan(self, sid: int, plan: RepairPlan, stripes: dict, verify: bool) -> None:
+        """Data plane for one stripe: run ops, commit outputs, verify parity."""
+        obs = self.obs
+        stripe_span = None
+        if obs is not None:
+            stripe_span = obs.tracer.begin(
+                f"stripe:{sid}", actor="coordinator", cat="dispatch",
+                stripe=sid, scheme=plan.scheme, ops=len(plan.ops),
+            )
+        try:
+            run_plan_ops(plan.ops, self.agents, self.bus)
+            for fb, (node, buf) in plan.outputs.items():
+                agent = self.agents[node]
+                repaired = agent.scratch[buf]
+                agent.store_block(block_name(sid, fb), repaired, overwrite=True)
+                stripes[sid].placement[fb] = node
+            if verify:
+                self._verify_stripe(sid)
+        finally:
+            if stripe_span is not None:
+                obs.tracer.end(stripe_span)
+
+    # -------------------------------------------------------------- #
+    # concurrent scheduler entry points (see repro.sched)
+    # -------------------------------------------------------------- #
+    @property
+    def sched(self):
+        """The coordinator's :class:`~repro.sched.scheduler.RepairScheduler`.
+
+        Created lazily on first use so un-scheduled workloads pay nothing;
+        replace it (or mutate ``sched.admission.policy``) to change the
+        admission policy.
+        """
+        if self._sched is None:
+            from repro.sched.scheduler import RepairScheduler
+
+            self._sched = RepairScheduler(self)
+        return self._sched
+
+    def submit_repair(
+        self,
+        scheme: str = "hmbr",
+        *,
+        stripes=None,
+        priority: str = "normal",
+        weight: float | None = None,
+        arrival_s: float = 0.0,
+    ):
+        """Queue a repair job on the concurrent scheduler (``repro.sched``).
+
+        ``stripes`` restricts the job to those stripe ids (``None`` repairs
+        everything affected at admission time); ``priority`` maps to a
+        weighted-fair-share weight via
+        :data:`repro.sched.job.PRIORITY_WEIGHTS` unless ``weight`` overrides
+        it; ``arrival_s`` delays the job's flows in simulated time.  Returns
+        the queued :class:`~repro.sched.job.RepairJob`; nothing executes
+        until :meth:`run_pending`.
+        """
+        return self.sched.submit(
+            scheme=scheme,
+            stripes=stripes,
+            priority=priority,
+            weight=weight,
+            arrival_s=arrival_s,
+        )
+
+    def run_pending(self, *, verify: bool = True, faults=None, events=()):
+        """Admit and run every queued repair job; see
+        :meth:`repro.sched.scheduler.RepairScheduler.run_pending`."""
+        return self.sched.run_pending(verify=verify, faults=faults, events=events)
+
     def repair_with_faults(
         self,
         faults,
@@ -425,6 +536,9 @@ class Coordinator:
         base_backoff_s: float = 0.5,
         plan_timeout_s: float | None = None,
         tick_s: float | None = None,
+        max_backoff_s: float | None = None,
+        backoff_jitter: float = 0.0,
+        backoff_seed: int = 0,
     ):
         """Like :meth:`repair`, but resilient to faults injected mid-repair.
 
@@ -433,7 +547,10 @@ class Coordinator:
         Helpers that die mid-transfer are confirmed through the heartbeat
         monitor, the in-flight plan is aborted, and the stripe is re-planned
         over the surviving helpers with exponential backoff between retries
-        (``base_backoff_s * 2**attempt``) and an optional per-plan timeout.
+        (``base_backoff_s * 2**attempt``, clamped to ``max_backoff_s`` with
+        optional deterministic seed-derived jitter — see
+        :func:`repro.faults.runtime.backoff_delay`) and an optional per-plan
+        timeout.
         Transient faults (drops, flaps) resume the same plan from its
         execution journal.  Returns a
         :class:`repro.faults.runtime.FaultRepairReport`.
@@ -442,7 +559,7 @@ class Coordinator:
         :meth:`repair` — the fault machinery is pay-for-what-you-use.
         """
         from repro.faults.injector import FaultInjector
-        from repro.faults.runtime import FaultRuntime
+        from repro.faults.runtime import DEFAULT_MAX_BACKOFF_S, FaultRuntime
         from repro.faults.schedule import FaultSchedule
 
         if isinstance(faults, FaultSchedule):
@@ -457,6 +574,9 @@ class Coordinator:
             max_retries=max_retries,
             base_backoff_s=base_backoff_s,
             plan_timeout_s=plan_timeout_s,
+            max_backoff_s=DEFAULT_MAX_BACKOFF_S if max_backoff_s is None else max_backoff_s,
+            backoff_jitter=backoff_jitter,
+            backoff_seed=backoff_seed,
         )
         return runtime.repair(scheme=scheme, verify=verify)
 

@@ -70,6 +70,69 @@ def test_allocation_is_feasible_and_maxmin(instance):
 
 
 # --------------------------------------------------------------------- #
+# weighted parity: random weights, multiplicities, and starved flows
+# --------------------------------------------------------------------- #
+@st.composite
+def weighted_allocation_instance(draw):
+    """Like :func:`allocation_instance`, plus per-flow weights and a chance
+    of zero-capacity resources (flows crossing one are starved to rate 0)."""
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    n_res = draw(st.integers(min_value=1, max_value=12))
+    n_flows = draw(st.integers(min_value=1, max_value=15))
+    res_keys = [f"r{i}" for i in range(n_res)]
+    caps = {
+        r: 0.0 if rng.random() < 0.15 else float(rng.uniform(5, 200))
+        for r in res_keys
+    }
+    flows = {}
+    for i in range(n_flows):
+        k = int(rng.integers(1, min(n_res, 4) + 1))
+        picks = rng.choice(n_res, size=k, replace=True)  # multiplicity allowed
+        flows[f"f{i}"] = [res_keys[j] for j in picks]
+    weights = {f: float(rng.uniform(0.1, 8.0)) for f in flows}
+    return res_keys, caps, flows, weights
+
+
+@settings(max_examples=50, deadline=None)
+@given(weighted_allocation_instance())
+def test_vectorized_matches_reference_weighted(instance):
+    """The vectorized allocator must reproduce weighted fair shares exactly,
+    including flows starved by zero-capacity resources."""
+    res_keys, caps, flows, weights = instance
+    resources = {r: _Resource(caps[r]) for r in res_keys}
+    reference = FluidSimulator._allocate(dict(flows), resources, weights)
+
+    tids = sorted(flows)
+    alloc = FluidSimulator._VectorAllocator(tids, flows, res_keys, weights)
+    caps_arr = np.array([caps[r] for r in res_keys])
+    vec = alloc.allocate(np.ones(len(tids), dtype=bool), caps_arr)
+    for tid in tids:
+        assert vec[alloc.flow_index[tid]] == pytest.approx(
+            reference[tid], rel=1e-9, abs=1e-12
+        )
+    # starved flows: anything crossing a zero-capacity resource gets rate 0
+    for tid in tids:
+        if any(caps[r] == 0.0 for r in flows[tid]):
+            assert reference[tid] == 0.0
+            assert vec[alloc.flow_index[tid]] == 0.0
+
+
+def test_weighted_shares_split_single_bottleneck_by_weight():
+    """Weights 4:1 on one shared link -> 80/20 in both implementations."""
+    flows = {"fg": ["r0"], "bg": ["r0"]}
+    weights = {"fg": 4.0, "bg": 1.0}
+    reference = FluidSimulator._allocate(
+        dict(flows), {"r0": _Resource(100.0)}, weights
+    )
+    assert reference == {"fg": pytest.approx(80.0), "bg": pytest.approx(20.0)}
+    alloc = FluidSimulator._VectorAllocator(["bg", "fg"], flows, ["r0"], weights)
+    vec = alloc.allocate(np.ones(2, dtype=bool), np.array([100.0]))
+    assert vec[alloc.flow_index["fg"]] == pytest.approx(80.0)
+    assert vec[alloc.flow_index["bg"]] == pytest.approx(20.0)
+
+
+# --------------------------------------------------------------------- #
 # fluid vs static §III-B1 sweep
 # --------------------------------------------------------------------- #
 

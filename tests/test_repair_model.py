@@ -124,3 +124,39 @@ def test_volume_split_extreme_imbalance_prefers_ir():
 def test_model_chain_order_variants(fig2):
     """uplink-desc ordering cannot be worse than index order on Fig 2."""
     assert t_ir(fig2, "uplink-desc") <= t_ir(fig2, "index") + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_volume_split_optimal_over_randomized_topologies(seed):
+    """Property: over random (k, m, f) topologies the volume split stays in
+    [0, 1] and its volume-model time never loses to the pure schemes
+    (T(p*) <= min(T(0), T(1))).
+
+    Also guards the near-parallel intersection fix: extreme bandwidth
+    spreads produce nearly-identical slopes whose ill-conditioned crossings
+    used to inject wild candidate splits.
+    """
+    import numpy as np
+
+    from repro.repair.model import _volume_lines
+    from repro.repair.topology import default_center
+
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(3, 9))
+    m = int(rng.integers(2, 5))
+    f = int(rng.integers(1, m + 1))
+    n = k + m + f
+    # heavy-tailed bandwidths: spreads up to ~1e6x stress the tolerance
+    ups = np.exp(rng.uniform(np.log(0.01), np.log(10_000), size=n)).tolist()
+    downs = np.exp(rng.uniform(np.log(0.01), np.log(10_000), size=n)).tolist()
+    ctx = make_repair_ctx(k=k, m=m, f=f, uplinks=ups, downlinks=downs)
+
+    p_star = volume_split(ctx)
+    assert 0.0 <= p_star <= 1.0
+
+    lines = _volume_lines(ctx, default_center(ctx))
+
+    def t_vol(p):
+        return max(s * p + i for s, i in lines)
+
+    assert t_vol(p_star) <= min(t_vol(0.0), t_vol(1.0)) + 1e-9

@@ -60,6 +60,44 @@ def test_multiple_events_piecewise_rates():
     assert res.makespan == pytest.approx(1.9, rel=1e-6)
 
 
+def test_many_events_drain_in_order_and_in_linear_time():
+    """Regression for the quadratic ``pending_events.pop(0)`` drain.
+
+    10k bandwidth events against one long flow must (a) produce the exact
+    piecewise-constant makespan and (b) complete quickly — the old
+    list-pop-front loop went quadratic in the event count.  The timing
+    bound is deliberately loose (CI-safe) while still far below the
+    quadratic regime, which took minutes at this size.
+    """
+    import time
+
+    cl = two_node_cluster()
+    n = 10_000
+    # alternate the uplink between 100 and 50 MB/s every millisecond
+    events = [
+        BandwidthEvent(time=0.001 * (i + 1), node=0,
+                       uplink=50.0 if i % 2 == 0 else 100.0)
+        for i in range(n)
+    ]
+    # mean rate over the event window is 75 MB/s; size the flow to finish
+    # mid-window so thousands of events apply while it runs
+    size_mb = 75.0 * 0.001 * (n // 2)  # 375 MB -> finishes around t = 5 s
+    t0 = time.perf_counter()
+    res = FluidSimulator(cl).run([Flow("f", 0, 1, size_mb)], events=events)
+    elapsed = time.perf_counter() - t0
+    # exact piecewise integral: 0.1 MB per 1 ms at 100, 0.05 MB per ms at 50
+    remaining = size_mb - 0.1  # first ms runs at the initial 100 MB/s
+    t = 0.001
+    rate = 50.0
+    while remaining > rate * 0.001 + 1e-12:
+        remaining -= rate * 0.001
+        t += 0.001
+        rate = 100.0 if rate == 50.0 else 50.0
+    t += remaining / rate
+    assert res.makespan == pytest.approx(t, rel=1e-6)
+    assert elapsed < 10.0, f"event drain took {elapsed:.1f}s — quadratic again?"
+
+
 def test_degrade_nodes_helper():
     cl = Cluster([Node(0, 100, 200, cross_uplink=20), Node(1, 100, 100)])
     events = degrade_nodes([0], at_time=2.0, factor=4.0, cluster=cl)

@@ -90,3 +90,29 @@ def test_simulation_result_finish_of_helpers(fig2):
     assert fetch_finish <= res.makespan
     with pytest.raises(KeyError):
         res.tag_finish(plan.tasks, "missing-tag")
+
+
+def test_finish_of_matches_namespaces_not_bare_prefixes():
+    """Regression: ``finish_of("cr")`` must not collect ``cr2:...`` tasks.
+
+    The old implementation matched on ``startswith(tag)``, so a shorter
+    namespace silently absorbed every longer namespace sharing its spelling
+    and reported an inflated finish time."""
+    from repro.simnet.fluid import SimulationResult
+
+    res = SimulationResult(
+        makespan=9.0,
+        finish_times={"cr:fetch": 1.0, "cr": 2.0, "cr2:fetch": 9.0, "cr_local:x": 5.0},
+        start_times={},
+        bytes_sent={},
+        bytes_received={},
+        cross_rack_mb=0.0,
+        n_rate_updates=0,
+    )
+    assert res.finish_of("cr") == 2.0, "cr2:/cr_local: must not leak into cr"
+    assert res.finish_of("cr2") == 9.0
+    assert res.finish_of("cr_local") == 5.0
+    # explicit trailing delimiter: children only, not the bare "cr" task
+    assert res.finish_of("cr:") == 1.0
+    with pytest.raises(KeyError):
+        res.finish_of("c")  # a prefix of a namespace is not that namespace

@@ -218,3 +218,46 @@ def test_empty_buffer_send_delivers_but_meters_nothing():
     a.send_to(b, "e", None, bus)
     assert "e" in b.scratch and b.scratch["e"].size == 0
     assert bus.total_bytes() == 0 and bus.transfer_count == 0
+
+
+# --------------------------------------------------------------------- #
+# backoff: capped exponential with deterministic jitter
+# --------------------------------------------------------------------- #
+def test_backoff_delay_sequence_is_capped_exponential():
+    from repro.faults.runtime import DEFAULT_MAX_BACKOFF_S, backoff_delay
+
+    delays = [backoff_delay(a, 0.5) for a in range(1, 12)]
+    # doubles until the 30 s default ceiling, then stays pinned there
+    assert delays[:7] == [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 30.0]
+    assert all(d == DEFAULT_MAX_BACKOFF_S for d in delays[6:])
+    # a custom ceiling clamps earlier
+    assert backoff_delay(10, 0.5, max_s=2.0) == 2.0
+    # huge attempt counts must not overflow float exponentiation
+    assert backoff_delay(5000, 0.5) == DEFAULT_MAX_BACKOFF_S
+
+
+def test_backoff_delay_jitter_is_deterministic_bounded_and_keyed():
+    from repro.faults.runtime import backoff_delay
+
+    base = backoff_delay(3, 0.5)  # 2.0 un-jittered
+    a = backoff_delay(3, 0.5, jitter_frac=0.25, seed=7, key=11)
+    b = backoff_delay(3, 0.5, jitter_frac=0.25, seed=7, key=11)
+    assert a == b, "same (seed, key, attempt) must replay the same delay"
+    assert base * 0.75 <= a <= base * 1.25
+    # different stripes (keys) desynchronize
+    c = backoff_delay(3, 0.5, jitter_frac=0.25, seed=7, key=12)
+    assert a != c
+    # jitter never pierces the ceiling
+    for attempt in range(1, 20):
+        assert backoff_delay(attempt, 4.0, max_s=10.0, jitter_frac=0.5, seed=1) <= 10.0
+
+
+def test_backoff_delay_validation():
+    from repro.faults.runtime import backoff_delay
+
+    with pytest.raises(ValueError, match="attempt"):
+        backoff_delay(0, 1.0)
+    with pytest.raises(ValueError, match="non-negative"):
+        backoff_delay(1, -1.0)
+    with pytest.raises(ValueError, match="jitter_frac"):
+        backoff_delay(1, 1.0, jitter_frac=1.0)

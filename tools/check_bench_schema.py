@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_batch.json perf-trajectory artifact against schema v1.
+"""Validate perf-trajectory artifacts (BENCH_*.json) against schema v1.
 
 Usage::
 
     python tools/check_bench_schema.py [path ...]
 
-Defaults to the repo-root ``BENCH_batch.json``.  Exits non-zero (listing
-every violation) if the document does not match the schema the batched
-benchmarks emit, so CI catches a drifting artifact before it is uploaded:
+Defaults to the repo-root ``BENCH_batch.json`` and ``BENCH_sched.json``.
+Exits non-zero (listing every violation) if a document does not match the
+schema the benchmarks emit, so CI catches a drifting artifact before it is
+uploaded:
 
 * top level: ``schema_version`` (== 1), ``suite`` (non-empty str),
   ``env`` (dict of scalars), ``points`` (non-empty list), nothing else;
@@ -100,7 +101,10 @@ def check_file(path: Path) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
-    paths = [Path(a) for a in argv] or [REPO / "BENCH_batch.json"]
+    paths = [Path(a) for a in argv] or [
+        REPO / "BENCH_batch.json",
+        REPO / "BENCH_sched.json",
+    ]
     failures = []
     for path in paths:
         errs = check_file(path)
