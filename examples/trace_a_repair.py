@@ -27,6 +27,7 @@ from repro.ec.rs import RSCode
 from repro.faults.schedule import FaultSchedule
 from repro.obs import Observability
 from repro.system.coordinator import Coordinator
+from repro.system.request import RepairRequest
 
 
 def build_system() -> Coordinator:
@@ -62,13 +63,13 @@ def main() -> None:
             (1.5, "delay", stripe0.placement[4], 0.8),  # slow link
         ]
     )
-    report = coord.repair_with_faults(schedule, scheme="hmbr")
+    res = coord.repair(RepairRequest(scheme="hmbr", faults=schedule))
 
-    print("repair-with-faults finished")
-    print(f"  stripes repaired : {report.stripes_repaired}")
-    print(f"  blocks recovered : {report.blocks_recovered}")
-    print(f"  rounds / retries : {report.rounds} / {report.retries}")
-    print(f"  simulated T_t    : {report.simulated_transfer_s:.2f} s")
+    print("fault-aware repair finished")
+    print(f"  stripes repaired : {res.stripes_repaired}")
+    print(f"  blocks recovered : {res.blocks_recovered}")
+    print(f"  rounds / retries : {res.plan_summary['rounds']} / {res.plan_summary['retries']}")
+    print(f"  simulated T_t    : {res.makespan_s:.2f} s")
 
     # ---- the trace must conserve bytes against the bus, exactly
     tracer = obs.tracer

@@ -14,6 +14,8 @@ Cloud Storage Systems with Wide-Stripe Erasure Coding"* (Yu et al., IPDPS
 * :mod:`repro.faults` — fault schedules, injection, and degraded repair,
 * :mod:`repro.sched` — concurrent repair jobs with admission control and
   weighted bandwidth sharing,
+* :mod:`repro.parallel` — process-pool decode for the repair data plane
+  (shared-memory planes, per-worker GF LUTs, chunk-level pipelining),
 * :mod:`repro.obs` — opt-in spans, metrics, and repair-timeline export,
 * :mod:`repro.analysis` / :mod:`repro.experiments` — every table and figure
   of the paper's evaluation.
@@ -25,9 +27,15 @@ Quickstart::
     sc = build_scenario(k=64, m=8, f=8, wld="WLD-8x")
     plan = plan_for(sc.ctx, "hmbr")
     t = FluidSimulator(sc.cluster).run(plan.tasks).makespan
+
+The documented import style is ``from repro import Coordinator,
+RepairRequest, ...`` — every supported name is re-exported here or from
+its subpackage's ``__init__`` and listed in ``__all__``;
+``tools/check_api_surface.py`` pins the surface against
+``tests/golden/api_surface.json``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.gf import GF, gf8
 from repro.ec import RSCode, Stripe, split_block, join_block
@@ -45,8 +53,17 @@ from repro.repair import (
     PlanExecutor,
     Workspace,
 )
-from repro.system import Coordinator
+from repro.system import (
+    Coordinator,
+    JobOutcome,
+    RepairReport,
+    RepairRequest,
+    RepairResult,
+)
 from repro.sched import AdmissionPolicy, RepairJob, RepairScheduler, SchedulerReport
+from repro.parallel import ParallelRepairEngine, PipelineReport, WorkerPool
+from repro.faults import FaultInjector, FaultSchedule
+from repro.repair import BatchRepairEngine, PlanCache
 from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.experiments import build_scenario, plan_for, transfer_time
 
@@ -76,11 +93,22 @@ __all__ = [
     "repair_model",
     "PlanExecutor",
     "Workspace",
+    "BatchRepairEngine",
+    "PlanCache",
     "Coordinator",
+    "RepairRequest",
+    "RepairResult",
+    "RepairReport",
+    "JobOutcome",
     "AdmissionPolicy",
     "RepairJob",
     "RepairScheduler",
     "SchedulerReport",
+    "ParallelRepairEngine",
+    "PipelineReport",
+    "WorkerPool",
+    "FaultInjector",
+    "FaultSchedule",
     "MetricsRegistry",
     "Observability",
     "Tracer",

@@ -1,0 +1,43 @@
+"""Multi-core parallel repair data plane.
+
+The serial data plane decodes every admission wave on one core; for wide
+stripes (k >= 64, GF(2^16)) that compute — the paper's Table II rows — is
+what bounds wall-clock throughput, not the simulated network.  This
+package overlaps it:
+
+* :class:`WorkerPool` — a lazily-forked process pool decoding
+  shared-memory planes (zero-copy NumPy views, per-worker pre-warmed GF
+  LUTs, stripe-aligned column shards).
+* :class:`ParallelRepairEngine` — the drop-in
+  :class:`~repro.repair.batch.BatchRepairEngine` subclass whose plane
+  matmul fans out over the pool; ``workers=1`` is bit-exact serial.
+* :func:`pipeline_schedule` / :class:`PipelineReport` — the simulated-time
+  model of chunk-level decode pipelining: stripes decode as their CR/IR
+  flows land instead of at the wave barrier.
+
+See ``docs/PARALLEL.md`` for the design and the bit-exactness contract.
+"""
+
+from .pool import (
+    DEFAULT_MIN_PARALLEL_COLS,
+    PoolStats,
+    ShardStat,
+    WorkerPool,
+    resolve_workers,
+    shard_bounds,
+)
+from .engine import ParallelRepairEngine
+from .pipeline import PipelineReport, PipelineSlot, pipeline_schedule
+
+__all__ = [
+    "DEFAULT_MIN_PARALLEL_COLS",
+    "ParallelRepairEngine",
+    "PipelineReport",
+    "PipelineSlot",
+    "PoolStats",
+    "ShardStat",
+    "WorkerPool",
+    "pipeline_schedule",
+    "resolve_workers",
+    "shard_bounds",
+]

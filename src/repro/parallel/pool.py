@@ -1,0 +1,337 @@
+"""Process-pool substrate for the parallel repair data plane.
+
+:class:`WorkerPool` owns a ``multiprocessing`` pool and the shared-memory
+plumbing that lets workers decode *views* of the coordinator's stacked
+survivor plane instead of pickled copies:
+
+* the source plane and the output plane live in
+  :class:`multiprocessing.shared_memory.SharedMemory` segments — workers
+  attach zero-copy NumPy views and write their output columns in place, so
+  the only bytes crossing the IPC pipe are shard descriptors (segment
+  names, shapes, column ranges) and the small (f, k) decode matrix;
+* each worker runs :func:`_worker_init` once at pool start, building the
+  GF(2^w) field tables and pre-warming the pair-byte / word scale LUTs
+  (:func:`repro.gf.batch.scale_lut`) for the decode matrix's coefficients,
+  so no worker pays table-construction cost on the decode path;
+* shard boundaries are aligned to whole stripes (``item_len`` columns)
+  whenever the caller says how wide a stripe is, keeping per-stripe output
+  slices inside a single worker's range.
+
+``workers=1`` is the **serial fallback**: no processes, no shared memory —
+:meth:`WorkerPool.decode_plane` calls straight into
+:func:`repro.gf.batch.gf_plane_matmul`, which is the exact kernel the
+serial :class:`~repro.repair.batch.BatchRepairEngine` runs, so the two
+paths are bit-identical by construction (and asserted by the twin-system
+differential tests).
+
+The pool prefers the ``fork`` start method (workers inherit the parent's
+already-built field tables; startup is ~30 ms) and falls back to the
+platform default elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field as dc_field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.gf.batch import gf_plane_matmul, scale_lut
+from repro.gf.field import GF
+
+#: planes narrower than this many columns decode inline even when the pool
+#: has workers: forking + segment setup costs more than the kernel saves.
+DEFAULT_MIN_PARALLEL_COLS = 1 << 12
+
+#: the per-worker field singleton, installed by :func:`_worker_init`.
+_WORKER_FIELD: GF | None = None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """``None`` -> the machine's CPU count; always at least 1."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _worker_init(w: int, coeffs: tuple[int, ...]) -> None:
+    """Pool initializer: build GF(2^w) and pre-warm its scale LUTs.
+
+    Runs once per worker process.  Warming here means the first shard a
+    worker decodes pays zero table-construction cost — the whole point of
+    a long-lived pool over per-call processes.
+    """
+    global _WORKER_FIELD
+    _WORKER_FIELD = GF(w)
+    for c in coeffs:
+        if c > 1:
+            scale_lut(_WORKER_FIELD, int(c))
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    On POSIX Pythons < 3.13 *attaching* also registers the segment with the
+    resource tracker.  That is harmless here — but only because
+    :meth:`WorkerPool._ensure_pool` starts the parent's tracker *before*
+    the workers exist, so every worker inherits it and the attach-side
+    registration collapses into the parent's own (the tracker keys by
+    name); the parent's ``unlink`` then unregisters exactly once.  Without
+    that ordering each worker would spawn a private tracker and warn about
+    "leaked" segments it never owned at exit.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _decode_shard(
+    in_name: str,
+    out_name: str,
+    w: int,
+    f: int,
+    k: int,
+    n: int,
+    mat_bytes: bytes,
+    lo: int,
+    hi: int,
+) -> tuple[int, int, float]:
+    """Worker body: decode output columns ``[lo, hi)`` of the shared plane.
+
+    Attaches the input/output segments, multiplies its column range through
+    the decode matrix with the same LUT kernel the serial engine uses, and
+    writes the result into the shared output in place.  Returns
+    ``(lo, hi, seconds)`` for the parent's utilization accounting.
+    """
+    t0 = time.perf_counter()
+    field = _WORKER_FIELD if _WORKER_FIELD is not None and _WORKER_FIELD.w == w else GF(w)
+    shm_in = _attach(in_name)
+    shm_out = _attach(out_name)
+    try:
+        mat = np.frombuffer(mat_bytes, dtype=field.dtype).reshape(f, k)
+        plane = np.ndarray((k, n), dtype=field.dtype, buffer=shm_in.buf)
+        out = np.ndarray((f, n), dtype=field.dtype, buffer=shm_out.buf)
+        out[:, lo:hi] = gf_plane_matmul(mat, plane[:, lo:hi], field)
+    finally:
+        shm_in.close()
+        shm_out.close()
+    return lo, hi, time.perf_counter() - t0
+
+
+def shard_bounds(n: int, shards: int, item_len: int | None = None) -> list[int]:
+    """Column boundaries splitting ``[0, n)`` into at most ``shards`` ranges.
+
+    With ``item_len`` (the per-stripe column width) boundaries snap to whole
+    items, so a stripe never straddles two workers; without it they snap to
+    even columns (safe for the pair-byte kernel, which maps each byte
+    independently either way).  Returns an ascending boundary list
+    ``[0, ..., n]`` with duplicates removed.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    unit = item_len if item_len else 2
+    bounds = [0]
+    for i in range(1, shards):
+        cut = (n * i) // shards
+        cut -= cut % unit
+        if cut > bounds[-1]:
+            bounds.append(cut)
+    if n > bounds[-1]:
+        bounds.append(n)
+    return bounds
+
+
+@dataclass(frozen=True)
+class ShardStat:
+    """One decode shard's accounting: its column range and wall seconds."""
+
+    lo: int
+    hi: int
+    seconds: float
+
+    @property
+    def cols(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass
+class PoolStats:
+    """Lifetime accounting for one :class:`WorkerPool`."""
+
+    #: decode calls that went through worker processes.
+    dispatches: int = 0
+    #: decode calls served inline (serial fallback / small planes).
+    inline_calls: int = 0
+    #: total shards handed to workers.
+    shards: int = 0
+    #: sum of per-shard decode wall seconds (worker-side busy time).
+    busy_seconds: float = 0.0
+    #: parent-side wall seconds spent inside pooled decodes.
+    wall_seconds: float = 0.0
+    #: deepest shard queue a single decode call produced.
+    max_queue_depth: int = 0
+    per_shard_seconds: list[float] = dc_field(default_factory=list)
+
+    def utilization(self, workers: int) -> float:
+        """Busy worker-seconds over available worker-seconds (0..1-ish)."""
+        if self.wall_seconds <= 0.0 or workers < 1:
+            return 0.0
+        return self.busy_seconds / (self.wall_seconds * workers)
+
+
+class WorkerPool:
+    """A lazily-started process pool that decodes shared-memory planes.
+
+    One pool serves many decode calls (and many pattern groups): the first
+    pooled call forks the workers and warms their LUTs; later calls reuse
+    them.  The pool re-initializes itself transparently if a caller switches
+    fields (w=8 vs w=16).  Use as a context manager — or call
+    :meth:`close` — to reap the workers deterministically; an unclosed pool
+    is still safe (daemonic workers die with the parent).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        min_parallel_cols: int = DEFAULT_MIN_PARALLEL_COLS,
+        start_method: str | None = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.min_parallel_cols = int(min_parallel_cols)
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else None
+        self.start_method = start_method
+        self.stats = PoolStats()
+        self._pool = None
+        self._pool_w: int | None = None
+        self._warmed: set[int] = set()
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+    def _ensure_pool(self, field: GF, coeffs: tuple[int, ...]):
+        """The live pool for ``field``, (re)forking workers if needed."""
+        if self._pool is not None and self._pool_w == field.w:
+            return self._pool
+        self.close()
+        try:  # pragma: no cover - absent on Windows
+            from multiprocessing import resource_tracker
+
+            # The workers must inherit the parent's resource tracker (see
+            # _attach); start it before they exist.
+            resource_tracker.ensure_running()
+        except (ImportError, AttributeError):
+            pass
+        ctx = mp.get_context(self.start_method)
+        # Build the parent-side tables *before* forking so fork-start
+        # workers inherit them and the initializer's warmup is a no-op hit.
+        for c in coeffs:
+            if c > 1:
+                scale_lut(field, int(c))
+        self._pool = ctx.Pool(
+            self.workers, initializer=_worker_init, initargs=(field.w, tuple(coeffs))
+        )
+        self._pool_w = field.w
+        self._warmed = {int(c) for c in coeffs}
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_w = None
+            self._warmed = set()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -------------------------------------------------------------- #
+    # the decode entry point
+    # -------------------------------------------------------------- #
+    def decode_plane(
+        self,
+        mat: np.ndarray,
+        plane: np.ndarray,
+        field: GF,
+        item_len: int | None = None,
+    ) -> tuple[np.ndarray, list[ShardStat]]:
+        """``mat @ plane`` over GF(2^w), sharded across the pool's workers.
+
+        Bit-exact with :func:`repro.gf.batch.gf_plane_matmul` for every
+        worker count: each output column is produced by exactly one worker
+        running exactly that kernel.  Returns the (f, n) product plus the
+        per-shard timing stats.  Serial fallback (``workers=1``) and planes
+        below :attr:`min_parallel_cols` never touch a process.
+        """
+        mat = np.asarray(mat, dtype=field.dtype)
+        plane = np.asarray(plane, dtype=field.dtype)
+        if mat.ndim != 2 or plane.ndim != 2 or mat.shape[1] != plane.shape[0]:
+            raise ValueError(f"incompatible shapes {mat.shape} x {plane.shape}")
+        f, k = mat.shape
+        n = plane.shape[1]
+        if self.workers <= 1 or n < self.min_parallel_cols or n == 0:
+            t0 = time.perf_counter()
+            out = gf_plane_matmul(mat, plane, field)
+            dt = time.perf_counter() - t0
+            self.stats.inline_calls += 1
+            return out, [ShardStat(0, n, dt)]
+
+        coeffs = tuple(sorted({int(c) for c in mat.ravel() if int(c) > 1}))
+        pool = self._ensure_pool(field, coeffs)
+        missing = [c for c in coeffs if c not in self._warmed]
+        if missing:
+            # New decode matrix since the workers were forked: warm its
+            # LUTs once in every worker rather than on each one's first
+            # shard (run one tiny job per worker to reach them all).
+            pool.starmap(_worker_init, [(field.w, tuple(missing))] * self.workers)
+            self._warmed.update(missing)
+
+        itemsize = field.dtype().itemsize
+        bounds = shard_bounds(n, self.workers, item_len)
+        t0 = time.perf_counter()
+        shm_in = shared_memory.SharedMemory(create=True, size=plane.size * itemsize)
+        shm_out = shared_memory.SharedMemory(create=True, size=f * n * itemsize)
+        try:
+            src = np.ndarray((k, n), dtype=field.dtype, buffer=shm_in.buf)
+            src[:] = plane
+            mat_bytes = mat.tobytes()
+            jobs = [
+                (shm_in.name, shm_out.name, field.w, f, k, n, mat_bytes, lo, hi)
+                for lo, hi in zip(bounds, bounds[1:])
+            ]
+            results = pool.starmap(_decode_shard, jobs)
+            out = np.ndarray((f, n), dtype=field.dtype, buffer=shm_out.buf).copy()
+        finally:
+            shm_in.close()
+            shm_in.unlink()
+            shm_out.close()
+            shm_out.unlink()
+        wall = time.perf_counter() - t0
+        shard_stats = [ShardStat(lo, hi, dt) for lo, hi, dt in results]
+        st = self.stats
+        st.dispatches += 1
+        st.shards += len(shard_stats)
+        st.busy_seconds += sum(s.seconds for s in shard_stats)
+        st.wall_seconds += wall
+        st.max_queue_depth = max(st.max_queue_depth, len(shard_stats))
+        st.per_shard_seconds.extend(s.seconds for s in shard_stats)
+        return out, shard_stats
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "live" if self._pool is not None else "cold"
+        return f"WorkerPool(workers={self.workers}, {state})"

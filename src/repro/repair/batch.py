@@ -26,6 +26,7 @@ metric series; detached it is a plain fast path.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -116,6 +117,12 @@ class PlanCache:
     ``invalidate_survivor`` evicts every plan whose surviving-helper set
     contains a given block index — the mid-storm hook for when a helper
     dies and plans built over it must not be served again.
+
+    Thread-safe: a reentrant lock guards lookups, LRU moves, counter
+    bumps, and invalidations, so concurrent wave dispatch (the parallel
+    path's thread-level fan-out) cannot corrupt the OrderedDict or lose
+    hit/miss/eviction counts.  Plans themselves are immutable and safe to
+    share once returned.
     """
 
     def __init__(self, capacity: int = 128):
@@ -123,47 +130,62 @@ class PlanCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._entries: OrderedDict[PatternKey, DecodePlan] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: PatternKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def plan_for(self, code: RSCode, survivor_ids, failed_ids) -> DecodePlan:
         """The decode plan for a pattern: LRU hit or build-and-insert."""
         key = pattern_key(code, survivor_ids, failed_ids)
-        plan = self._entries.get(key)
-        if plan is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return plan
-        self.misses += 1
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return plan
+            self.misses += 1
+        # Invert outside the lock: matrix inversion is the slow path and
+        # must not serialize concurrent hits on other patterns.
         plan = build_decode_plan(code, key.survivors, key.failed)
-        self._entries[key] = plan
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            raced = self._entries.get(key)
+            if raced is not None:
+                # Another thread built the same plan first; serve its copy
+                # so every caller shares one matrix per pattern.
+                self._entries.move_to_end(key)
+                return raced
+            self._entries[key] = plan
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return plan
 
     def peek(self, key: PatternKey) -> DecodePlan | None:
         """Lookup without touching LRU order or hit/miss counters."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     # -------------------------------------------------------------- #
     # invalidation
     # -------------------------------------------------------------- #
     def invalidate_where(self, predicate: Callable[[PatternKey], bool]) -> int:
         """Evict every plan whose key matches; returns the eviction count."""
-        doomed = [k for k in self._entries if predicate(k)]
-        for k in doomed:
-            del self._entries[k]
-        self.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [k for k in self._entries if predicate(k)]
+            for k in doomed:
+                del self._entries[k]
+            self.invalidations += len(doomed)
+            return len(doomed)
 
     def invalidate_survivor(self, block_index: int) -> int:
         """Evict plans that decode *through* a now-unusable helper block."""
@@ -172,21 +194,23 @@ class PlanCache:
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are lifetime totals)."""
-        self.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
 
     def stats(self) -> dict:
         """Lifetime accounting snapshot (what the batched repair reports)."""
-        lookups = self.hits + self.misses
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
 
 
 @dataclass
@@ -282,6 +306,20 @@ class BatchRepairEngine:
     # -------------------------------------------------------------- #
     # core kernels
     # -------------------------------------------------------------- #
+    def _plane_matmul(
+        self, mat: np.ndarray, plane: np.ndarray, item_len: int | None = None
+    ) -> np.ndarray:
+        """The one kernel seam subclasses may re-route.
+
+        ``item_len`` is the per-stripe column width of ``plane`` (when the
+        caller knows it), letting sharded implementations keep each
+        stripe's columns on a single worker.  The base engine decodes
+        inline; :class:`repro.parallel.ParallelRepairEngine` overrides
+        this to fan out across a process pool — nothing else differs
+        between the serial and parallel engines.
+        """
+        return gf_plane_matmul(mat, plane, self.code.field)
+
     def decode_batch(self, survivor_ids, failed_ids, stacked: np.ndarray) -> np.ndarray:
         """Decode S same-pattern stripes at once: (S, k, B) -> (S, f, B).
 
@@ -297,7 +335,7 @@ class BatchRepairEngine:
         if k != self.code.k:
             raise ValueError(f"stacked has {k} source rows, need k={self.code.k}")
         plane = stacked.transpose(1, 0, 2).reshape(k, s * b)
-        out = gf_plane_matmul(plan.matrix, plane, self.code.field)
+        out = self._plane_matmul(plan.matrix, plane, item_len=b)
         return np.ascontiguousarray(
             out.reshape(plan.f, s, b).transpose(1, 0, 2)
         )
@@ -346,7 +384,7 @@ class BatchRepairEngine:
                         self.code, grp.key.survivors, grp.key.failed
                     )
                     t0 = time.perf_counter()
-                    decoded = gf_plane_matmul(plan.matrix, plane, field_)
+                    decoded = self._plane_matmul(plan.matrix, plane, item_len=length)
                     dt = time.perf_counter() - t0
                     compute_s += dt
                     nbytes = plane.size * plane.itemsize

@@ -153,7 +153,15 @@ class RepairScheduler:
     # -------------------------------------------------------------- #
     # execution
     # -------------------------------------------------------------- #
-    def run_pending(self, *, verify: bool = True, faults=None, events=()):
+    def run_pending(
+        self,
+        *,
+        verify: bool = True,
+        faults=None,
+        events=(),
+        workers: int = 1,
+        batched: bool = False,
+    ):
         """Admit and run every queued job; returns a :class:`SchedulerReport`.
 
         Jobs are admitted in priority order (FIFO within a class) until the
@@ -170,7 +178,18 @@ class RepairScheduler:
         job's data plane through the fault runtime's journal/backoff/replan
         machinery.  ``events`` are :class:`~repro.simnet.dynamic.
         BandwidthEvent`\\ s on the scheduler-global clock.
+
+        ``batched=True`` runs each healthy job's data plane through the
+        pattern-grouped batch engine; ``workers > 1`` (implies batching)
+        additionally fans every admitted wave's kernels out to the
+        coordinator's shared :class:`repro.parallel.WorkerPool`.  Both are
+        bit-exact with the per-stripe plane and ignored for fault-injected
+        runs, whose journaled runtime is inherently per-stripe.
         """
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        batched = batched or workers > 1
         coord = self.coord
         obs = coord.obs
         run = list(self._queue)
@@ -182,11 +201,12 @@ class RepairScheduler:
             root = obs.tracer.begin(
                 "sched.run_pending", actor="scheduler", cat="sched",
                 jobs=[j.job_id for j in run], faults=injector is not None,
+                workers=workers, batched=batched,
             )
         if injector is not None:
             injector.attach(coord.bus)
         try:
-            report = self._run_waves(run, verify, runtime, events)
+            report = self._run_waves(run, verify, runtime, events, workers, batched)
         finally:
             if injector is not None:
                 injector.detach(coord.bus)
@@ -218,7 +238,9 @@ class RepairScheduler:
             injector = faults
         return FaultRuntime(self.coord, injector), injector
 
-    def _run_waves(self, run, verify, runtime, events) -> SchedulerReport:
+    def _run_waves(
+        self, run, verify, runtime, events, workers=1, batched=False
+    ) -> SchedulerReport:
         coord = self.coord
         obs = coord.obs
         pending = sorted(run, key=RepairJob.priority_rank)
@@ -240,7 +262,9 @@ class RepairScheduler:
                 if obs is not None:
                     obs.metrics.gauge("sched.wave_admitted").set(len(admitted))
                     obs.metrics.counter("sched.jobs_admitted").inc(len(admitted))
-                sim = self._run_wave(admitted, verify, runtime, events, offset)
+                sim = self._run_wave(
+                    admitted, verify, runtime, events, offset, workers, batched
+                )
                 if sim is not None:
                     n_updates += sim.n_rate_updates
                     self._finish_wave(admitted, sim, offset)
@@ -340,7 +364,9 @@ class RepairScheduler:
             )
         return nodes
 
-    def _run_wave(self, admitted, verify, runtime, events, offset):
+    def _run_wave(
+        self, admitted, verify, runtime, events, offset, workers=1, batched=False
+    ):
         """Plan + dispatch every admitted job, then simulate them merged."""
         coord = self.coord
         obs = coord.obs
@@ -351,7 +377,9 @@ class RepairScheduler:
             if not affected:
                 continue
             try:
-                plans = self._dispatch_job(job, affected, replacement_of, verify, runtime)
+                plans = self._dispatch_job(
+                    job, affected, replacement_of, verify, runtime, workers, batched
+                )
             except Exception as err:  # noqa: BLE001 - job isolation boundary
                 from repro.faults.errors import RepairAborted, StripeUnrecoverable
 
@@ -393,9 +421,15 @@ class RepairScheduler:
         return sim
 
     def _dispatch_job(
-        self, job, affected, replacement_of, verify, runtime
+        self, job, affected, replacement_of, verify, runtime, workers=1, batched=False
     ) -> list[tuple[int, RepairPlan]]:
-        """Data plane for one job; returns its committed (sid, plan) pairs."""
+        """Data plane for one job; returns its committed (sid, plan) pairs.
+
+        With ``batched`` (healthy runs only — the fault runtime journals
+        per stripe) the job's stripes decode through the coordinator's
+        batched dispatch, fanning out to the shared worker pool when
+        ``workers > 1``; otherwise each stripe runs its plan ops.
+        """
         coord = self.coord
         obs = coord.obs
         job_span = None
@@ -403,7 +437,7 @@ class RepairScheduler:
             job_span = obs.tracer.begin(
                 f"sched.job:{job.job_id}", actor="scheduler", cat="sched",
                 job=job.job_id, scheme=job.scheme, priority=job.priority,
-                stripes=sorted(affected),
+                stripes=sorted(affected), batched=batched and runtime is None,
             )
         try:
             if runtime is not None:
@@ -414,8 +448,15 @@ class RepairScheduler:
             work = coord._build_work(affected, replacement_of)
             common_p = coord._common_hmbr_split(work) if job.scheme == "hmbr" else None
             planned = coord._plan_work(work, job.scheme, common_p)
-            for sid, plan, _ in planned:
-                coord._commit_plan(sid, plan, stripes_map, verify)
+            if batched:
+                centers = {sid: center for sid, _, center in work}
+                engine = coord._engine_for(workers) if workers > 1 else None
+                coord._dispatch_batched(
+                    planned, centers, stripes_map, verify, engine=engine
+                )
+            else:
+                for sid, plan, _ in planned:
+                    coord._commit_plan(sid, plan, stripes_map, verify)
             for agent in coord.agents.values():
                 agent.clear_scratch()
             return [(sid, plan) for sid, plan, _ in planned]

@@ -13,6 +13,7 @@ from repro.system.blockstore import BlockStore
 from repro.system.bus import DataBus
 from repro.system.agent import Agent
 from repro.system.heartbeat import HeartbeatMonitor
+from repro.system.request import JobOutcome, RepairRequest, RepairResult
 from repro.system.coordinator import Coordinator, RepairReport, WriteReceipt
 
 __all__ = [
@@ -21,6 +22,9 @@ __all__ = [
     "Agent",
     "HeartbeatMonitor",
     "Coordinator",
+    "JobOutcome",
     "RepairReport",
+    "RepairRequest",
+    "RepairResult",
     "WriteReceipt",
 ]

@@ -49,6 +49,7 @@ from repro.simnet.fluid import FluidSimulator
 from repro.system.agent import Agent, run_plan_ops
 from repro.system.bus import DataBus
 from repro.system.heartbeat import HeartbeatMonitor
+from repro.system.request import RepairRequest, RepairResult, warn_legacy
 
 _PLANNERS = {
     "cr": lambda ctx, center: plan_centralized(ctx, center=center),
@@ -87,6 +88,11 @@ class RepairReport:
     batched: bool = False
     pattern_groups: int = 0
     plan_cache_stats: dict = field(default_factory=dict)
+    #: decode worker processes the data plane fanned out to (1 = serial).
+    workers: int = 1
+    #: :class:`repro.parallel.PipelineReport` modeling chunk-level decode
+    #: overlap with transfer completion (parallel runs only).
+    pipeline: object | None = None
 
 
 class Coordinator:
@@ -130,6 +136,9 @@ class Coordinator:
         self.obs = None
         #: lazily-created concurrent repair scheduler (see :attr:`sched`).
         self._sched = None
+        #: worker-count -> cached :class:`repro.parallel.ParallelRepairEngine`,
+        #: so repeated parallel requests reuse live pools (see :meth:`close`).
+        self._parallel_engines: dict[int, object] = {}
 
     # -------------------------------------------------------------- #
     # membership
@@ -236,9 +245,147 @@ class Coordinator:
     # repair
     # -------------------------------------------------------------- #
     def repair(
-        self, scheme: str = "hmbr", verify: bool = True, batched: bool = False
-    ) -> RepairReport:
+        self,
+        request: "RepairRequest | list[RepairRequest] | str | None" = None,
+        verify: bool = True,
+        batched: bool = False,
+        *,
+        scheme: str | None = None,
+    ):
         """Repair every stripe that lost blocks to the current dead nodes.
+
+        **The one entry point.**  Pass a :class:`~repro.system.request.
+        RepairRequest` (or a list of them, queued as contending scheduler
+        jobs) and get a :class:`~repro.system.request.RepairResult` back;
+        the request's fields pick the route — healthy round, batched or
+        parallel data plane, fault runtime, or the concurrent scheduler::
+
+            coord.repair(RepairRequest())                        # hmbr round
+            coord.repair(RepairRequest(scheme="cr", workers=4))  # pooled decode
+            coord.repair(RepairRequest(faults=schedule))         # degraded
+            coord.repair([RepairRequest(priority="foreground"),
+                          RepairRequest(priority="background")]) # scheduled
+
+        The pre-1.1 form ``repair(scheme_str, verify=..., batched=...)``
+        still works, emits a :class:`DeprecationWarning`, and returns the
+        legacy :class:`RepairReport` (see the migration table in
+        ``docs/API.md``).
+        """
+        if isinstance(request, RepairRequest):
+            return self._repair_request(request)
+        if isinstance(request, (list, tuple)):
+            reqs = list(request)
+            if not reqs or not all(isinstance(r, RepairRequest) for r in reqs):
+                raise TypeError("repair() takes a RepairRequest or a non-empty list of them")
+            return self._repair_request_many(reqs)
+        if request is not None and not isinstance(request, str):
+            raise TypeError(
+                f"repair() takes a RepairRequest, a list of them, or a legacy "
+                f"scheme string; got {type(request).__name__}"
+            )
+        warn_legacy(
+            "Coordinator.repair(scheme, verify=..., batched=...)",
+            "Coordinator.repair(RepairRequest(...))",
+        )
+        return self._repair_round(request or scheme or "hmbr", verify, batched)
+
+    # -------------------------------------------------------------- #
+    # request routing (the new facade's internals)
+    # -------------------------------------------------------------- #
+    def _repair_request(self, req: RepairRequest) -> RepairResult:
+        """Route one request: scheduler, fault runtime, or plain round."""
+        if req.needs_scheduler():
+            return self._repair_request_many([req])
+        bytes_before = self.bus.total_bytes()
+        if req.faults is not None:
+            report = self._repair_faulted(req)
+            return RepairResult.from_fault(
+                report, req, self.bus.total_bytes() - bytes_before
+            )
+        report = self._repair_round(
+            req.scheme,
+            req.verify,
+            req.batched or req.workers > 1,
+            workers=req.workers,
+        )
+        return RepairResult.from_report(
+            report, req, self.bus.total_bytes() - bytes_before
+        )
+
+    def _repair_request_many(self, reqs: list[RepairRequest]) -> RepairResult:
+        """Run requests as scheduler jobs sharing one admission queue.
+
+        Per-job fields (scheme, stripes, priority, weight, arrival) come
+        from each request; run-global fields (verify, faults, workers,
+        batching) must be expressible once per run — at most one request
+        may carry a fault schedule, ``verify`` is the conjunction, and the
+        data plane batches if any request asks (``workers`` = max).
+        """
+        faulted = [r for r in reqs if r.faults is not None]
+        if len(faulted) > 1:
+            raise ValueError("at most one request per run may carry faults")
+        bytes_before = self.bus.total_bytes()
+        compute_before = sum(a.compute_seconds for a in self.agents.values())
+        for r in reqs:
+            self.sched.submit(
+                scheme=r.scheme,
+                stripes=r.stripes,
+                priority=r.priority,
+                weight=r.weight,
+                arrival_s=r.arrival_s,
+            )
+        workers = max(r.workers for r in reqs)
+        report = self.sched.run_pending(
+            verify=all(r.verify for r in reqs),
+            faults=faulted[0].faults if faulted else None,
+            workers=workers,
+            batched=any(r.batched for r in reqs) or workers > 1,
+        )
+        return RepairResult.from_scheduler(
+            report,
+            reqs[0],
+            self.bus.total_bytes() - bytes_before,
+            compute_s_total=sum(a.compute_seconds for a in self.agents.values())
+            - compute_before,
+        )
+
+    def _repair_faulted(self, req: RepairRequest):
+        """The fault-runtime route (journaled retries; see docs/FAULTS.md)."""
+        from repro.faults.injector import FaultInjector
+        from repro.faults.runtime import DEFAULT_MAX_BACKOFF_S, FaultRuntime
+        from repro.faults.schedule import FaultSchedule
+
+        faults = req.faults
+        if isinstance(faults, FaultSchedule):
+            injector = FaultInjector(
+                faults, tick_s=req.tick_s if req.tick_s is not None else 0.001
+            )
+        else:
+            injector = faults
+            if req.tick_s is not None:
+                injector.tick_s = req.tick_s
+        runtime = FaultRuntime(
+            self,
+            injector,
+            max_retries=req.max_retries,
+            base_backoff_s=req.base_backoff_s,
+            plan_timeout_s=req.plan_timeout_s,
+            max_backoff_s=DEFAULT_MAX_BACKOFF_S
+            if req.max_backoff_s is None
+            else req.max_backoff_s,
+            backoff_jitter=req.backoff_jitter,
+            backoff_seed=req.backoff_seed,
+        )
+        return runtime.repair(scheme=req.scheme, verify=req.verify)
+
+    def _repair_round(
+        self,
+        scheme: str = "hmbr",
+        verify: bool = True,
+        batched: bool = False,
+        workers: int = 1,
+    ) -> RepairReport:
+        """One healthy repair round (the pre-request ``repair`` body).
 
         New nodes are drawn from the spare pool (one replacement per dead
         node).  Repairs of different stripes run in parallel: their plans are
@@ -254,6 +401,11 @@ class Coordinator:
         the repaired bytes are bit-exact with the per-stripe path — only the
         wall-clock compute (and its per-node attribution via
         :meth:`~repro.system.agent.Agent.charge_compute`) gets cheaper.
+
+        ``workers > 1`` additionally fans the batched kernels out over a
+        :class:`repro.parallel.WorkerPool` (implies ``batched``) and models
+        chunk-level decode pipelining against the simulated transfer finish
+        times (the report's :attr:`~RepairReport.pipeline`).
         """
         if scheme != "auto" and scheme not in _PLANNERS:
             raise ValueError(
@@ -310,9 +462,14 @@ class Coordinator:
             # ---- data plane: dispatch ops to agents, commit repaired blocks
             compute_before = {i: a.compute_seconds for i, a in self.agents.items()}
             pattern_groups = 0
+            batch_res = None
             if batched:
                 centers = {sid: center for sid, _, center in work}
-                pattern_groups = self._dispatch_batched(plans, centers, stripes, verify)
+                engine = self._engine_for(workers) if workers > 1 else None
+                batch_res = self._dispatch_batched(
+                    plans, centers, stripes, verify, engine=engine
+                )
+                pattern_groups = batch_res.groups
             else:
                 for sid, plan, ctx in plans:
                     self._commit_plan(sid, plan, stripes, verify)
@@ -326,6 +483,9 @@ class Coordinator:
             per_stripe = {}
             for sid, plan, _ in plans:
                 per_stripe[sid] = max(sim.finish_times[t.task_id] for t in plan.tasks)
+            pipeline = None
+            if workers > 1 and batch_res is not None and per_stripe:
+                pipeline = self._pipeline_model(batch_res, per_stripe, workers)
         finally:
             if root is not None:
                 obs.tracer.unwind(root)
@@ -347,6 +507,8 @@ class Coordinator:
             batched=batched,
             pattern_groups=pattern_groups,
             plan_cache_stats=self.plan_cache.stats() if batched else {},
+            workers=workers,
+            pipeline=pipeline,
         )
         if obs is not None:
             m = obs.metrics
@@ -357,7 +519,64 @@ class Coordinator:
             m.gauge("repair.bytes_on_wire_mb_model").set(report.bytes_on_wire_mb_model)
             for t in report.per_stripe_transfer_s.values():
                 m.histogram("repair.stripe_transfer_s").observe(t)
+            if pipeline is not None:
+                m.gauge("parallel.pipeline_saved_s").set(pipeline.saved_s)
         return report
+
+    def _pipeline_model(self, batch_res, per_stripe: dict, workers: int):
+        """Chunk-level pipelining: decode each stripe as its flows land.
+
+        Ready times are the stripes' simulated transfer finishes; costs are
+        their measured GF shares rescaled from the stored ``block_bytes``
+        to the modeled ``block_size_mb`` (the same scale decoupling the two
+        planes always use).  Emits one sim-domain ``parallel.decode`` span
+        per stripe so the pipelined landings show up on the trace timeline
+        next to the flows that gated them.
+        """
+        from repro.parallel.pipeline import pipeline_schedule
+
+        scale = (self.block_size_mb * (1 << 20)) / self.block_bytes
+        sids = sorted(per_stripe)
+        pipeline = pipeline_schedule(
+            sids,
+            [per_stripe[sid] for sid in sids],
+            [
+                batch_res.compute_seconds_by_stripe.get(sid, 0.0) * scale
+                for sid in sids
+            ],
+            workers,
+        )
+        if self.obs is not None:
+            for slot in pipeline.slots:
+                self.obs.tracer.add(
+                    f"parallel.decode:{slot.item}",
+                    actor=f"decode-lane{slot.lane}",
+                    cat="parallel.sim",
+                    t0=slot.start_s,
+                    t1=slot.done_s,
+                    stripe=slot.item,
+                    ready_s=slot.ready_s,
+                )
+        return pipeline
+
+    def _engine_for(self, workers: int):
+        """The cached parallel engine for a worker count (pools are dear)."""
+        from repro.parallel.engine import ParallelRepairEngine
+
+        engine = self._parallel_engines.get(workers)
+        if engine is None:
+            engine = ParallelRepairEngine(
+                self.code, cache=self.plan_cache, obs=self.obs, workers=workers
+            )
+            self._parallel_engines[workers] = engine
+        engine.obs = self.obs  # track attach/detach since creation
+        return engine
+
+    def close(self) -> None:
+        """Reap any live worker pools (idempotent; serial systems no-op)."""
+        for engine in self._parallel_engines.values():
+            engine.close()
+        self._parallel_engines.clear()
 
     # -------------------------------------------------------------- #
     # repair planning/dispatch helpers (shared with repro.sched)
@@ -505,6 +724,11 @@ class Coordinator:
     ):
         """Queue a repair job on the concurrent scheduler (``repro.sched``).
 
+        .. deprecated:: 1.1
+            Pass a list of :class:`~repro.system.request.RepairRequest`\\ s
+            to :meth:`repair` instead; it queues, runs, and wraps the jobs
+            in one call.
+
         ``stripes`` restricts the job to those stripe ids (``None`` repairs
         everything affected at admission time); ``priority`` maps to a
         weighted-fair-share weight via
@@ -513,6 +737,10 @@ class Coordinator:
         the queued :class:`~repro.sched.job.RepairJob`; nothing executes
         until :meth:`run_pending`.
         """
+        warn_legacy(
+            "Coordinator.submit_repair(...)",
+            "Coordinator.repair([RepairRequest(...), ...])",
+        )
         return self.sched.submit(
             scheme=scheme,
             stripes=stripes,
@@ -523,7 +751,16 @@ class Coordinator:
 
     def run_pending(self, *, verify: bool = True, faults=None, events=()):
         """Admit and run every queued repair job; see
-        :meth:`repro.sched.scheduler.RepairScheduler.run_pending`."""
+        :meth:`repro.sched.scheduler.RepairScheduler.run_pending`.
+
+        .. deprecated:: 1.1
+            Pass a list of :class:`~repro.system.request.RepairRequest`\\ s
+            to :meth:`repair` instead.
+        """
+        warn_legacy(
+            "Coordinator.run_pending(...)",
+            "Coordinator.repair([RepairRequest(...), ...])",
+        )
         return self.sched.run_pending(verify=verify, faults=faults, events=events)
 
     def repair_with_faults(
@@ -542,6 +779,12 @@ class Coordinator:
     ):
         """Like :meth:`repair`, but resilient to faults injected mid-repair.
 
+        .. deprecated:: 1.1
+            Use ``repair(RepairRequest(faults=schedule, ...))`` instead;
+            this shim forwards there and returns the legacy
+            :class:`repro.faults.runtime.FaultRepairReport` (the request
+            path's ``result.report``).
+
         ``faults`` is a :class:`repro.faults.schedule.FaultSchedule` (or an
         already-constructed :class:`repro.faults.injector.FaultInjector`).
         Helpers that die mid-transfer are confirmed through the heartbeat
@@ -552,35 +795,30 @@ class Coordinator:
         :func:`repro.faults.runtime.backoff_delay`) and an optional per-plan
         timeout.
         Transient faults (drops, flaps) resume the same plan from its
-        execution journal.  Returns a
-        :class:`repro.faults.runtime.FaultRepairReport`.
+        execution journal.
 
         With an empty schedule this performs exactly the op sequence of
         :meth:`repair` — the fault machinery is pay-for-what-you-use.
         """
-        from repro.faults.injector import FaultInjector
-        from repro.faults.runtime import DEFAULT_MAX_BACKOFF_S, FaultRuntime
-        from repro.faults.schedule import FaultSchedule
-
-        if isinstance(faults, FaultSchedule):
-            injector = FaultInjector(faults, tick_s=tick_s if tick_s is not None else 0.001)
-        else:
-            injector = faults
-            if tick_s is not None:
-                injector.tick_s = tick_s
-        runtime = FaultRuntime(
-            self,
-            injector,
+        warn_legacy(
+            "Coordinator.repair_with_faults(...)",
+            "Coordinator.repair(RepairRequest(faults=..., ...))",
+        )
+        req = RepairRequest(
+            scheme=scheme,
+            verify=verify,
+            faults=faults,
             max_retries=max_retries,
             base_backoff_s=base_backoff_s,
             plan_timeout_s=plan_timeout_s,
-            max_backoff_s=DEFAULT_MAX_BACKOFF_S if max_backoff_s is None else max_backoff_s,
+            tick_s=tick_s,
+            max_backoff_s=max_backoff_s,
             backoff_jitter=backoff_jitter,
             backoff_seed=backoff_seed,
         )
-        return runtime.repair(scheme=scheme, verify=verify)
+        return self._repair_request(req).report
 
-    def _dispatch_batched(self, plans, centers, stripes, verify: bool) -> int:
+    def _dispatch_batched(self, plans, centers, stripes, verify: bool, engine=None):
         """Batched data plane: one stacked GF kernel per erasure-pattern group.
 
         Each stripe's survivors ship to its center (metered on the bus like
@@ -588,10 +826,14 @@ class Coordinator:
         :attr:`plan_cache`, repaired buffers land at the planned output
         nodes, and each stripe's share of the group kernel cost is charged
         to its center via :meth:`~repro.system.agent.Agent.charge_compute`.
-        Returns the number of pattern groups decoded.
+        ``engine`` swaps the decode engine (the parallel path passes a
+        :class:`repro.parallel.ParallelRepairEngine`); the default is the
+        serial :class:`~repro.repair.batch.BatchRepairEngine`.  Returns the
+        engine's :class:`~repro.repair.batch.BatchDecodeResult`.
         """
         obs = self.obs
-        engine = BatchRepairEngine(self.code, cache=self.plan_cache, obs=obs)
+        if engine is None:
+            engine = BatchRepairEngine(self.code, cache=self.plan_cache, obs=obs)
         span = None
         if obs is not None:
             span = obs.tracer.begin(
@@ -634,7 +876,7 @@ class Coordinator:
                 )
                 if verify:
                     self._verify_stripe(sid)
-            return res.groups
+            return res
         finally:
             if span is not None:
                 obs.tracer.end(span)

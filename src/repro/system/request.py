@@ -1,0 +1,303 @@
+"""The unified repair facade: :class:`RepairRequest` in, :class:`RepairResult` out.
+
+The coordinator grew three entry points as the system grew — ``repair``
+(healthy rounds, later with ``batched=``), ``repair_with_faults`` (the
+journaled degraded path), and ``submit_repair``/``run_pending`` (the
+concurrent scheduler) — each with its own kwargs and its own report type.
+This module collapses them: describe *what* to repair in one
+:class:`RepairRequest` value, call ``Coordinator.repair(request)``, and
+get one :class:`RepairResult` back no matter which machinery ran.
+
+Routing is derived from the request, never named by the caller:
+
+* ``faults`` present → the fault runtime (journals, backoff, re-plans);
+* ``priority`` / ``weight`` / ``arrival_s`` / ``stripes`` set → the
+  concurrent scheduler (one job per request; pass a *list* of requests
+  for a contending batch);
+* otherwise → a plain healthy round, per-stripe or batched/parallel
+  according to ``batched`` / ``workers``.
+
+The legacy entry points survive as deprecation shims that build the
+equivalent request, forward, and return their historical report types —
+bit-exact with the old code by construction (the shim-equivalence tests
+assert it).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field as dc_field
+from typing import Any
+
+_SCHEMES = ("cr", "ir", "hmbr", "rack-hmbr", "auto")
+_PRIORITIES = ("foreground", "normal", "background")
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit the one deprecation message every legacy shim uses."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/API.md migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class RepairRequest:
+    """Everything one repair should do, as a single immutable value.
+
+    Only ``scheme`` is commonly set; the rest defaults to today's
+    ``Coordinator.repair()`` behavior (healthy, per-stripe, verified,
+    serial).  Field groups:
+
+    * **what** — ``scheme``, ``stripes`` (``None`` = everything affected);
+    * **data plane** — ``batched`` (pattern-grouped GF kernels),
+      ``workers`` (process-pool decode; ``>1`` implies batching),
+      ``verify`` (post-repair parity check);
+    * **scheduling** — ``priority``/``weight``/``arrival_s`` route through
+      the concurrent scheduler (as does restricting ``stripes``);
+    * **faults** — a :class:`~repro.faults.schedule.FaultSchedule` or
+      prepared injector plus the retry/backoff knobs of the fault runtime.
+
+    ``faults`` routes the data plane through the journaled per-stripe
+    fault runtime, so it composes with scheduling but not with
+    ``batched``/``workers > 1`` (validation rejects the combination
+    rather than silently decoding serially).
+    """
+
+    scheme: str = "hmbr"
+    stripes: tuple[int, ...] | None = None
+    batched: bool = False
+    workers: int = 1
+    verify: bool = True
+    # ---- scheduling ----
+    priority: str = "normal"
+    weight: float | None = None
+    arrival_s: float = 0.0
+    # ---- faults ----
+    faults: Any = None
+    max_retries: int = 8
+    base_backoff_s: float = 0.5
+    plan_timeout_s: float | None = None
+    tick_s: float | None = None
+    max_backoff_s: float | None = None
+    backoff_jitter: float = 0.0
+    backoff_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scheme not in _SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; choose from {sorted(_SCHEMES)}"
+            )
+        if self.priority not in _PRIORITIES:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; choose from {sorted(_PRIORITIES)}"
+            )
+        if int(self.workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        object.__setattr__(self, "workers", int(self.workers))
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.weight is not None and self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.stripes is not None:
+            object.__setattr__(
+                self, "stripes", tuple(int(s) for s in self.stripes)
+            )
+        if self.faults is not None and (self.batched or self.workers > 1):
+            raise ValueError(
+                "faults route through the journaled per-stripe runtime; "
+                "they do not compose with batched/parallel decode "
+                "(use workers=1, batched=False)"
+            )
+
+    def needs_scheduler(self) -> bool:
+        """Whether this request must run as a scheduler job.
+
+        Any of ``priority``/``weight``/``arrival_s``/``stripes`` implies
+        queueing semantics the plain round cannot express.
+        """
+        return (
+            self.priority != "normal"
+            or self.weight is not None
+            or self.arrival_s > 0
+            or self.stripes is not None
+        )
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One scheduler job's result, flattened for :attr:`RepairResult.jobs`."""
+
+    job_id: str
+    state: str
+    scheme: str
+    priority: str
+    stripes: tuple[int, ...]
+    blocks_recovered: int
+    wave: int | None
+    finish_s: float | None
+    error: str | None = None
+
+    @classmethod
+    def from_job(cls, job) -> "JobOutcome":
+        return cls(
+            job_id=job.job_id,
+            state=job.state,
+            scheme=job.scheme,
+            priority=job.priority,
+            stripes=tuple(job.stripes_repaired),
+            blocks_recovered=job.blocks_recovered,
+            wave=job.wave,
+            finish_s=job.finish_s,
+            error=job.error,
+        )
+
+
+@dataclass
+class RepairResult:
+    """What one ``Coordinator.repair(request)`` call accomplished.
+
+    The same shape comes back from every route; route-specific detail
+    stays reachable through :attr:`report` (the legacy
+    ``RepairReport`` / ``FaultRepairReport`` / ``SchedulerReport``
+    the run produced internally).
+    """
+
+    request: RepairRequest
+    scheme: str
+    stripes_repaired: list[int]
+    blocks_recovered: int
+    #: simulated seconds until the last repaired byte landed.
+    makespan_s: float
+    #: data-plane bytes the run actually moved (== the ``DataBus`` delta).
+    bytes_moved: int
+    #: modeled MB the plans put on the wire at ``block_size_mb`` scale.
+    bytes_on_wire_mb_model: float
+    #: measured GF compute seconds across all agents.
+    compute_s_total: float
+    #: batching/caching accounting: pattern groups, plan-cache stats, shards.
+    plan_summary: dict = dc_field(default_factory=dict)
+    #: per-job outcomes (exactly one entry unless the scheduler ran).
+    jobs: list[JobOutcome] = dc_field(default_factory=list)
+    per_stripe_transfer_s: dict[int, float] = dc_field(default_factory=dict)
+    replacements: dict[int, int] = dc_field(default_factory=dict)
+    batched: bool = False
+    workers: int = 1
+    #: chunk-level decode pipelining model (parallel runs only).
+    pipeline: Any = None
+    #: the route-specific report the run produced internally.
+    report: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no job failed."""
+        return all(j.state != "failed" for j in self.jobs)
+
+    # -------------------------------------------------------------- #
+    # constructors, one per route
+    # -------------------------------------------------------------- #
+    @classmethod
+    def from_report(cls, report, request: RepairRequest, bytes_moved: int) -> "RepairResult":
+        """Wrap a healthy-round ``RepairReport``."""
+        plan_summary = {
+            "batched": report.batched,
+            "pattern_groups": report.pattern_groups,
+            "plan_cache": dict(report.plan_cache_stats),
+        }
+        pipeline = getattr(report, "pipeline", None)
+        if pipeline is not None:
+            plan_summary["pipeline_saved_s"] = pipeline.saved_s
+        return cls(
+            request=request,
+            scheme=report.scheme,
+            stripes_repaired=list(report.stripes_repaired),
+            blocks_recovered=report.blocks_recovered,
+            makespan_s=report.simulated_transfer_s,
+            bytes_moved=bytes_moved,
+            bytes_on_wire_mb_model=report.bytes_on_wire_mb_model,
+            compute_s_total=report.compute_s_total,
+            plan_summary=plan_summary,
+            jobs=[
+                JobOutcome(
+                    job_id="round0",
+                    state="done",
+                    scheme=report.scheme,
+                    priority=request.priority,
+                    stripes=tuple(report.stripes_repaired),
+                    blocks_recovered=report.blocks_recovered,
+                    wave=None,
+                    finish_s=report.simulated_transfer_s,
+                )
+            ],
+            per_stripe_transfer_s=dict(report.per_stripe_transfer_s),
+            replacements=dict(report.replacements),
+            batched=report.batched,
+            workers=getattr(report, "workers", 1),
+            pipeline=pipeline,
+            report=report,
+        )
+
+    @classmethod
+    def from_fault(cls, report, request: RepairRequest, bytes_moved: int) -> "RepairResult":
+        """Wrap a fault-runtime ``FaultRepairReport``."""
+        return cls(
+            request=request,
+            scheme=report.scheme,
+            stripes_repaired=list(report.stripes_repaired),
+            blocks_recovered=report.blocks_recovered,
+            makespan_s=report.simulated_transfer_s,
+            bytes_moved=bytes_moved,
+            bytes_on_wire_mb_model=report.bytes_on_wire_mb_model,
+            compute_s_total=report.compute_s_total,
+            plan_summary={
+                "rounds": report.rounds,
+                "replans": report.replans,
+                "retries": report.retries,
+                "wasted_transfer_bytes": report.wasted_transfer_bytes,
+            },
+            jobs=[
+                JobOutcome(
+                    job_id="round0",
+                    state="done",
+                    scheme=report.scheme,
+                    priority=request.priority,
+                    stripes=tuple(report.stripes_repaired),
+                    blocks_recovered=report.blocks_recovered,
+                    wave=None,
+                    finish_s=report.simulated_transfer_s,
+                )
+            ],
+            per_stripe_transfer_s=dict(report.per_stripe_transfer_s),
+            replacements=dict(report.replacements),
+            report=report,
+        )
+
+    @classmethod
+    def from_scheduler(
+        cls,
+        report,
+        request: RepairRequest,
+        bytes_moved: int,
+        compute_s_total: float = 0.0,
+    ) -> "RepairResult":
+        """Wrap a scheduler ``SchedulerReport`` (one or many jobs)."""
+        stripes = sorted({s for j in report.jobs for s in j.stripes_repaired})
+        return cls(
+            request=request,
+            scheme=request.scheme,
+            stripes_repaired=stripes,
+            blocks_recovered=report.blocks_recovered,
+            makespan_s=report.makespan_s,
+            bytes_moved=bytes_moved,
+            bytes_on_wire_mb_model=report.bytes_on_wire_mb_model,
+            compute_s_total=compute_s_total,
+            plan_summary={"waves": report.waves},
+            jobs=[JobOutcome.from_job(j) for j in report.jobs],
+            per_stripe_transfer_s={
+                sid: t
+                for j in report.jobs
+                for sid, t in j.per_stripe_transfer_s.items()
+            },
+            report=report,
+        )

@@ -1,0 +1,126 @@
+"""PlanCache under concurrent wave dispatch: a thread-stress regression.
+
+The parallel path fans repair waves out across threads that all hit the
+coordinator's one :class:`~repro.repair.batch.PlanCache`.  Before the cache
+took a lock, concurrent ``plan_for`` calls could corrupt the LRU
+OrderedDict mid-``move_to_end`` or lose counter bumps.  These tests hammer
+the cache from many threads — lookups racing invalidations, clears, and
+evictions — and assert the ledger stays conserved and every served plan is
+the correct matrix for its pattern.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ec.rs import get_code
+from repro.repair.batch import PlanCache, build_decode_plan, pattern_key
+
+CODE = get_code(8, 4, 8)
+N_THREADS = 8
+ITERS = 150
+
+
+def _patterns(n=24):
+    """n distinct (survivors, failed) erasure patterns for CODE."""
+    pats = []
+    blocks = list(range(CODE.n))
+    for i in range(n):
+        failed = tuple(sorted({(i + j * 5) % CODE.n for j in range(1 + i % CODE.m)}))
+        survivors = tuple(b for b in blocks if b not in failed)[: CODE.k]
+        if (survivors, failed) not in pats:
+            pats.append((survivors, failed))
+    return pats
+
+
+EXPECTED = {
+    (s, f): build_decode_plan(CODE, s, f).matrix for s, f in _patterns()
+}
+
+
+def _hammer(cache, pats, seed, errors, chaos=False):
+    rng = np.random.default_rng(seed)
+    for i in range(ITERS):
+        s, f = pats[rng.integers(len(pats))]
+        try:
+            plan = cache.plan_for(CODE, s, f)
+            if not np.array_equal(plan.matrix, EXPECTED[(s, f)]):
+                errors.append(f"wrong matrix for {(s, f)}")
+            if chaos and i % 40 == 17:
+                cache.invalidate_survivor(int(rng.integers(CODE.n)))
+            if chaos and i % 90 == 53:
+                cache.clear()
+        except Exception as exc:  # noqa: BLE001 - the regression is ANY raise
+            errors.append(f"{type(exc).__name__}: {exc}")
+
+
+@pytest.mark.parametrize("capacity", [4, 64])
+def test_plan_cache_thread_stress_conserves_ledger(capacity):
+    cache = PlanCache(capacity=capacity)
+    pats = _patterns()
+    errors: list[str] = []
+    threads = [
+        threading.Thread(target=_hammer, args=(cache, pats, t, errors))
+        for t in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:5]
+    stats = cache.stats()
+    # every plan_for bumps exactly one of hits/misses, even when two
+    # threads race to build the same pattern (the loser serves the
+    # winner's copy but keeps its miss)
+    assert stats["hits"] + stats["misses"] == N_THREADS * ITERS
+    assert stats["size"] <= capacity
+    assert len(cache) == stats["size"]
+    assert stats["misses"] >= min(len(pats), capacity)
+
+
+def test_plan_cache_thread_stress_with_invalidation_chaos():
+    cache = PlanCache(capacity=16)
+    pats = _patterns()
+    errors: list[str] = []
+    threads = [
+        threading.Thread(target=_hammer, args=(cache, pats, 100 + t, errors, True))
+        for t in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:5]
+    stats = cache.stats()
+    assert stats["hits"] + stats["misses"] == N_THREADS * ITERS
+    assert stats["size"] <= 16
+    assert stats["invalidations"] >= 1
+    # the cache still serves correct plans after the chaos
+    s, f = pats[0]
+    assert np.array_equal(cache.plan_for(CODE, s, f).matrix, EXPECTED[(s, f)])
+
+
+def test_racing_builders_share_one_plan_object():
+    """Two threads missing the same cold pattern must converge on a single
+    cached DecodePlan (first-builder-wins on insert)."""
+    cache = PlanCache(capacity=8)
+    s, f = _patterns()[0]
+    barrier = threading.Barrier(2)
+    got = []
+
+    def build():
+        barrier.wait()
+        got.append(cache.plan_for(CODE, s, f))
+
+    threads = [threading.Thread(target=build) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert cache.peek(pattern_key(CODE, s, f)) is not None
+    later = cache.plan_for(CODE, s, f)
+    assert all(p.matrix is later.matrix for p in got) or all(
+        np.array_equal(p.matrix, later.matrix) for p in got
+    )
+    assert len(cache) == 1

@@ -43,14 +43,43 @@ def test_subpackage_exports_importable():
     import repro.analysis as analysis
     import repro.cluster as cluster
     import repro.ec as ec
+    import repro.faults as faults
     import repro.gf as gf
+    import repro.obs as obs
+    import repro.parallel as parallel
     import repro.repair as repair
+    import repro.sched as sched
     import repro.simnet as simnet
     import repro.system as system
 
-    for module in (analysis, cluster, ec, gf, repair, simnet, system):
+    modules = (
+        analysis, cluster, ec, faults, gf, obs, parallel, repair, sched,
+        simnet, system,
+    )
+    for module in modules:
+        assert module.__all__, f"{module.__name__} must declare __all__"
         for name in module.__all__:
             assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+def test_api_surface_matches_golden():
+    """The pinned surface check CI runs must pass from the suite too."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent
+    proc = subprocess.run(
+        [sys.executable, str(repo / "tools" / "check_api_surface.py"), "--check"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_request_facade_quickstart():
+    """The docs/API.md headline snippet must literally work."""
+    from repro import Coordinator, RepairRequest, RepairResult  # noqa: F401
 
 
 def test_experiments_are_deterministic():

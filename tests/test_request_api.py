@@ -1,0 +1,246 @@
+"""The unified facade: RepairRequest validation, shim equivalence, invariants.
+
+Every pre-1.1 call form (``repair(scheme_str)``, ``repair_with_faults``,
+``submit_repair``/``run_pending``) must keep working behind a
+``DeprecationWarning`` and stay bit-exact with the request path that
+replaced it — same stored bytes, same placements, same simulated makespan.
+:class:`~repro.system.request.RepairResult` invariants are pinned against
+externally-measured ground truth (the ``DataBus`` byte ledger).
+"""
+
+import pytest
+
+from repro.faults.schedule import FaultSchedule
+from repro.system.request import JobOutcome, RepairRequest, RepairResult
+
+from tests.test_system_batch import build_system, snapshot
+
+
+# ------------------------------------------------------------------ #
+# RepairRequest validation
+# ------------------------------------------------------------------ #
+def test_request_defaults_are_todays_behavior():
+    req = RepairRequest()
+    assert req.scheme == "hmbr" and req.verify and not req.batched
+    assert req.workers == 1 and req.priority == "normal"
+    assert not req.needs_scheduler()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"scheme": "raid6"},
+        {"priority": "urgent"},
+        {"workers": 0},
+        {"arrival_s": -1.0},
+        {"weight": 0.0},
+        {"faults": object(), "batched": True},
+        {"faults": object(), "workers": 2},
+    ],
+)
+def test_request_rejects_bad_fields(kwargs):
+    with pytest.raises(ValueError):
+        RepairRequest(**kwargs)
+
+
+def test_request_normalizes_stripes_and_workers():
+    req = RepairRequest(stripes=[3, 1], workers=2.0, batched=False)
+    assert req.stripes == (3, 1) and isinstance(req.workers, int)
+    assert req.needs_scheduler()  # restricting stripes implies queueing
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"priority": "foreground"},
+        {"weight": 2.0},
+        {"arrival_s": 1.5},
+        {"stripes": (0,)},
+    ],
+)
+def test_request_scheduler_routing_predicate(kwargs):
+    assert RepairRequest(**kwargs).needs_scheduler()
+
+
+def test_repair_rejects_non_request_values():
+    coord = build_system()
+    with pytest.raises(TypeError):
+        coord.repair(123)
+    with pytest.raises(TypeError):
+        coord.repair([])
+    with pytest.raises(TypeError):
+        coord.repair([RepairRequest(), "hmbr"])
+
+
+def test_repair_many_allows_at_most_one_fault_carrier():
+    coord = build_system()
+    coord.crash_node(3)
+    sched = FaultSchedule.random(seed=1, targets=[1], n_events=1, max_kills=1)
+    reqs = [
+        RepairRequest(faults=sched, priority="foreground"),
+        RepairRequest(faults=sched, priority="background"),
+    ]
+    with pytest.raises(ValueError):
+        coord.repair(reqs)
+
+
+# ------------------------------------------------------------------ #
+# shim equivalence: healthy round
+# ------------------------------------------------------------------ #
+def test_legacy_repair_warns_and_matches_request_path():
+    a, b = build_system(), build_system()
+    for coord in (a, b):
+        coord.crash_node(3)
+        coord.crash_node(7)
+    with pytest.warns(DeprecationWarning, match="Coordinator.repair"):
+        ra = a.repair(scheme="hmbr")
+    rb = b.repair(RepairRequest())
+    assert isinstance(rb, RepairResult)
+    assert snapshot(a) == snapshot(b)
+    assert rb.makespan_s == pytest.approx(ra.simulated_transfer_s, abs=1e-12)
+    assert rb.per_stripe_transfer_s == ra.per_stripe_transfer_s
+    assert rb.blocks_recovered == ra.blocks_recovered
+    assert rb.bytes_on_wire_mb_model == pytest.approx(ra.bytes_on_wire_mb_model)
+    assert rb.compute_s_total == pytest.approx(ra.compute_s_total, rel=0.5)
+    assert rb.replacements == ra.replacements
+    assert rb.report.scheme == "hmbr"  # the legacy report stays reachable
+    assert rb.ok and [j.state for j in rb.jobs] == ["done"]
+
+
+def test_legacy_positional_scheme_string_still_routes():
+    coord = build_system()
+    coord.crash_node(2)
+    with pytest.warns(DeprecationWarning):
+        report = coord.repair("cr")
+    assert report.scheme == "cr"
+    assert all(coord.scrub().values())
+
+
+def test_legacy_batched_matches_request_batched():
+    a, b = build_system(), build_system()
+    for coord in (a, b):
+        coord.crash_node(3)
+    with pytest.warns(DeprecationWarning):
+        ra = a.repair(scheme="hmbr", batched=True)
+    rb = b.repair(RepairRequest(batched=True))
+    assert snapshot(a) == snapshot(b)
+    assert rb.batched and rb.workers == 1 and rb.pipeline is None
+    assert rb.makespan_s == pytest.approx(ra.simulated_transfer_s, abs=1e-12)
+    assert rb.plan_summary["pattern_groups"] == ra.pattern_groups
+    assert rb.plan_summary["plan_cache"] == ra.plan_cache_stats
+
+
+# ------------------------------------------------------------------ #
+# shim equivalence: fault runtime
+# ------------------------------------------------------------------ #
+def test_legacy_repair_with_faults_matches_request_faults():
+    schedule = FaultSchedule.random(
+        seed=20230717, targets=list(range(8)), n_events=4, max_kills=1
+    )
+    a, b = build_system(seed=3), build_system(seed=3)
+    for coord in (a, b):
+        coord.crash_node(1)
+    with pytest.warns(DeprecationWarning, match="repair_with_faults"):
+        ra = a.repair_with_faults(schedule, scheme="hmbr")
+    rb = b.repair(RepairRequest(faults=schedule))
+    assert snapshot(a) == snapshot(b)
+    assert rb.makespan_s == pytest.approx(ra.simulated_transfer_s, abs=1e-12)
+    assert rb.blocks_recovered == ra.blocks_recovered
+    assert rb.plan_summary["rounds"] == ra.rounds
+    assert rb.plan_summary["retries"] == ra.retries
+    assert rb.plan_summary["replans"] == ra.replans
+    assert rb.report.attempts == ra.attempts
+    # the shim itself returns the historical report type, via the new path
+    c = build_system(seed=3)
+    c.crash_node(1)
+    with pytest.warns(DeprecationWarning):
+        rc = c.repair_with_faults(schedule, scheme="hmbr")
+    assert type(rc) is type(ra)
+    assert rc.simulated_transfer_s == pytest.approx(ra.simulated_transfer_s, abs=1e-12)
+
+
+# ------------------------------------------------------------------ #
+# shim equivalence: the scheduler
+# ------------------------------------------------------------------ #
+def test_legacy_submit_run_matches_request_list():
+    a, b = build_system(), build_system()
+    for coord in (a, b):
+        coord.crash_node(3)
+        coord.crash_node(7)
+    affected = sorted(a.layout.stripes_with_failures(a.cluster.dead_ids()))
+    assert len(affected) >= 2
+    first, second = tuple(affected[::2]), tuple(affected[1::2])
+    with pytest.warns(DeprecationWarning, match="submit_repair"):
+        a.submit_repair(stripes=first, priority="foreground")
+    with pytest.warns(DeprecationWarning):
+        a.submit_repair(stripes=second, priority="background")
+    with pytest.warns(DeprecationWarning, match="run_pending"):
+        ra = a.run_pending()
+    rb = b.repair(
+        [
+            RepairRequest(stripes=first, priority="foreground"),
+            RepairRequest(stripes=second, priority="background"),
+        ]
+    )
+    assert snapshot(a) == snapshot(b)
+    assert rb.makespan_s == pytest.approx(ra.makespan_s, abs=1e-12)
+    assert rb.blocks_recovered == ra.blocks_recovered
+    assert rb.plan_summary["waves"] == ra.waves
+    assert rb.ok and len(rb.jobs) == 2
+    assert {j.priority for j in rb.jobs} == {"foreground", "background"}
+    assert all(isinstance(j, JobOutcome) and j.state == "done" for j in rb.jobs)
+    assert sorted(rb.stripes_repaired) == affected
+
+
+def test_single_scheduled_request_routes_through_scheduler():
+    coord = build_system()
+    coord.crash_node(3)
+    res = coord.repair(RepairRequest(priority="foreground"))
+    assert len(res.jobs) == 1 and res.jobs[0].priority == "foreground"
+    assert res.jobs[0].wave is not None
+    assert res.plan_summary["waves"] >= 1
+    assert all(coord.scrub().values())
+
+
+# ------------------------------------------------------------------ #
+# RepairResult invariants
+# ------------------------------------------------------------------ #
+def test_result_bytes_moved_equals_bus_delta():
+    coord = build_system()
+    coord.crash_node(3)
+    before = coord.bus.total_bytes()
+    res = coord.repair(RepairRequest())
+    assert res.bytes_moved == coord.bus.total_bytes() - before
+    assert res.bytes_moved > 0
+    # a second round with nothing dead moves nothing
+    before = coord.bus.total_bytes()
+    res2 = coord.repair(RepairRequest())
+    assert res2.bytes_moved == 0 and res2.stripes_repaired == []
+
+
+def test_result_bytes_moved_equals_bus_delta_on_every_route():
+    sched = FaultSchedule.random(seed=5, targets=list(range(8)), n_events=2, max_kills=1)
+    for req in (
+        RepairRequest(batched=True),
+        RepairRequest(priority="background"),
+        RepairRequest(faults=sched),
+    ):
+        coord = build_system()
+        coord.crash_node(3)
+        before = coord.bus.total_bytes()
+        res = coord.repair(req)
+        assert res.bytes_moved == coord.bus.total_bytes() - before
+        assert res.request is req and res.ok
+
+
+def test_result_carries_request_and_stripe_accounting():
+    coord = build_system()
+    coord.crash_node(3)
+    req = RepairRequest()
+    res = coord.repair(req)
+    assert res.request is req
+    assert sorted(res.per_stripe_transfer_s) == sorted(res.stripes_repaired)
+    assert res.makespan_s == pytest.approx(
+        max(res.per_stripe_transfer_s.values()), abs=1e-12
+    )
+    assert res.jobs[0].stripes == tuple(res.stripes_repaired)

@@ -5,7 +5,8 @@ Usage::
 
     python tools/check_bench_schema.py [path ...]
 
-Defaults to the repo-root ``BENCH_batch.json`` and ``BENCH_sched.json``.
+Defaults to the repo-root ``BENCH_batch.json``, ``BENCH_sched.json``, and
+``BENCH_parallel.json``.
 Exits non-zero (listing every violation) if a document does not match the
 schema the benchmarks emit, so CI catches a drifting artifact before it is
 uploaded:
@@ -104,6 +105,7 @@ def main(argv: list[str]) -> int:
     paths = [Path(a) for a in argv] or [
         REPO / "BENCH_batch.json",
         REPO / "BENCH_sched.json",
+        REPO / "BENCH_parallel.json",
     ]
     failures = []
     for path in paths:
