@@ -17,6 +17,8 @@ Cloud Storage Systems with Wide-Stripe Erasure Coding"* (Yu et al., IPDPS
 * :mod:`repro.parallel` — process-pool decode for the repair data plane
   (shared-memory planes, per-worker GF LUTs, chunk-level pipelining),
 * :mod:`repro.obs` — opt-in spans, metrics, and repair-timeline export,
+* :mod:`repro.workload` — seeded client load generation and the online
+  serving plane (degraded reads under live repair traffic),
 * :mod:`repro.analysis` / :mod:`repro.experiments` — every table and figure
   of the paper's evaluation.
 
@@ -65,6 +67,7 @@ from repro.parallel import ParallelRepairEngine, PipelineReport, WorkerPool
 from repro.faults import FaultInjector, FaultSchedule
 from repro.repair import BatchRepairEngine, PlanCache
 from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.workload import ServeRequest, ServeResult, ServingPlane, WorkloadSpec
 from repro.experiments import build_scenario, plan_for, transfer_time
 
 __all__ = [
@@ -112,6 +115,10 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "Tracer",
+    "ServeRequest",
+    "ServeResult",
+    "ServingPlane",
+    "WorkloadSpec",
     "build_scenario",
     "plan_for",
     "transfer_time",

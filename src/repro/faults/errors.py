@@ -65,7 +65,13 @@ class RepairAborted(RuntimeError):
 
 
 class StripeUnrecoverable(RuntimeError):
-    """Fewer than k blocks of a stripe survive — no plan can exist."""
+    """Fewer than k blocks of a stripe survive — no plan can exist.
+
+    Raised by repair planning *and* by the serving plane's degraded-read
+    path (:meth:`repro.workload.serving.ServingPlane.read_object`): a
+    client read of a stripe with fewer than ``k`` surviving blocks fails
+    with this error rather than returning wrong bytes.
+    """
 
     def __init__(self, stripe_id: int, surviving: int, k: int):
         super().__init__(

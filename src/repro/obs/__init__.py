@@ -34,7 +34,7 @@ trace in Perfetto.
 """
 
 from repro.obs.export import to_chrome_trace, write_chrome_trace, write_spans_jsonl
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, latency_summary
 from repro.obs.session import Observability
 from repro.obs.tracer import OPS_DOMAIN, SIM_DOMAIN, Span, TraceError, Tracer
 
@@ -42,6 +42,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "latency_summary",
     "MetricsRegistry",
     "Observability",
     "OPS_DOMAIN",

@@ -102,6 +102,23 @@ class Histogram:
         }
 
 
+def latency_summary(values) -> dict:
+    """Deterministic p50/p99 summary of a latency sample.
+
+    A pure function over any iterable of seconds, computed through a
+    throwaway :class:`Histogram` so the numbers are *identical* to what an
+    attached session's ``workload.read_latency_s`` series reports — the
+    serving plane uses it for its percentile tables, which therefore do not
+    depend on whether an :class:`~repro.obs.session.Observability` session
+    is attached.  An empty sample returns ``{"count": 0}`` (matching
+    :meth:`Histogram.summary`).
+    """
+    h = Histogram("latency")
+    for v in values:
+        h.observe(v)
+    return h.summary()
+
+
 class MetricsRegistry:
     """Get-or-create registry of named series."""
 

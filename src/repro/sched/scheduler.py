@@ -75,6 +75,9 @@ class SchedulerReport:
     queue_depth_after: int
     #: total fluid-solver rate recomputations across all waves.
     n_rate_updates: int
+    #: task id -> simulated finish time for every foreground task merged
+    #: into the first wave (see ``run_pending(foreground=...)``).
+    foreground_finish_s: dict[str, float] = field(default_factory=dict)
 
     @property
     def done(self) -> list[RepairJob]:
@@ -161,6 +164,7 @@ class RepairScheduler:
         events=(),
         workers: int = 1,
         batched: bool = False,
+        foreground=(),
     ):
         """Admit and run every queued job; returns a :class:`SchedulerReport`.
 
@@ -185,6 +189,15 @@ class RepairScheduler:
         coordinator's shared :class:`repro.parallel.WorkerPool`.  Both are
         bit-exact with the per-stripe plane and ignored for fault-injected
         runs, whose journaled runtime is inherently per-stripe.
+
+        ``foreground`` is a sequence of extra simulator tasks (client
+        traffic — see :mod:`repro.workload`) merged into the **first**
+        wave's simulation, so foreground flows and that wave's repair flows
+        contend for the same links under their respective weights.  Their
+        finish times land in the report's
+        :attr:`~SchedulerReport.foreground_finish_s`; with an empty queue a
+        foreground-only wave still runs, so the serving plane's healthy
+        regime goes through the exact simulator path the storm regime uses.
         """
         workers = int(workers)
         if workers < 1:
@@ -206,7 +219,9 @@ class RepairScheduler:
         if injector is not None:
             injector.attach(coord.bus)
         try:
-            report = self._run_waves(run, verify, runtime, events, workers, batched)
+            report = self._run_waves(
+                run, verify, runtime, events, workers, batched, foreground
+            )
         finally:
             if injector is not None:
                 injector.detach(coord.bus)
@@ -239,7 +254,7 @@ class RepairScheduler:
         return FaultRuntime(self.coord, injector), injector
 
     def _run_waves(
-        self, run, verify, runtime, events, workers=1, batched=False
+        self, run, verify, runtime, events, workers=1, batched=False, foreground=()
     ) -> SchedulerReport:
         coord = self.coord
         obs = coord.obs
@@ -247,7 +262,9 @@ class RepairScheduler:
         offset = 0.0
         waves = 0
         n_updates = 0
-        while pending:
+        fg_tasks = list(foreground)
+        fg_finish: dict[str, float] = {}
+        while pending or fg_tasks:
             waves += 1
             if waves > _MAX_WAVES:  # pragma: no cover - safety net
                 raise RuntimeError("scheduler did not drain its queue")
@@ -262,10 +279,14 @@ class RepairScheduler:
                 if obs is not None:
                     obs.metrics.gauge("sched.wave_admitted").set(len(admitted))
                     obs.metrics.counter("sched.jobs_admitted").inc(len(admitted))
+                extra, fg_tasks = fg_tasks, []
                 sim = self._run_wave(
-                    admitted, verify, runtime, events, offset, workers, batched
+                    admitted, verify, runtime, events, offset, workers, batched,
+                    extra,
                 )
                 if sim is not None:
+                    for t in extra:
+                        fg_finish[t.task_id] = offset + sim.finish_times[t.task_id]
                     n_updates += sim.n_rate_updates
                     self._finish_wave(admitted, sim, offset)
                     offset += sim.makespan
@@ -285,6 +306,7 @@ class RepairScheduler:
             bytes_on_wire_mb_model=sum(j.bytes_on_wire_mb_model for j in run),
             queue_depth_after=len(self._queue),
             n_rate_updates=n_updates,
+            foreground_finish_s=fg_finish,
         )
 
     # -------------------------------------------------------------- #
@@ -365,12 +387,25 @@ class RepairScheduler:
         return nodes
 
     def _run_wave(
-        self, admitted, verify, runtime, events, offset, workers=1, batched=False
+        self,
+        admitted,
+        verify,
+        runtime,
+        events,
+        offset,
+        workers=1,
+        batched=False,
+        extra_tasks=(),
     ):
-        """Plan + dispatch every admitted job, then simulate them merged."""
+        """Plan + dispatch every admitted job, then simulate them merged.
+
+        ``extra_tasks`` (foreground client traffic) join the wave's merged
+        task DAG verbatim — they were never planned as repair work, so they
+        only contribute flows/delays to the shared fluid solve.
+        """
         coord = self.coord
         obs = coord.obs
-        all_tasks = []
+        all_tasks = list(extra_tasks)
         finish_index: dict[str, list[tuple[int, str]]] = {}
         for job, affected, replacement_of in admitted:
             job.transition(RUNNING)

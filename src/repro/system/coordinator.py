@@ -214,6 +214,31 @@ class Coordinator:
             chunks.append(np.concatenate(data_blocks))
         return np.concatenate(chunks)[:length].tobytes()
 
+    def serve(self, request):
+        """Run a client workload (optionally merged with a repair storm).
+
+        ``request`` is a :class:`repro.workload.serving.ServeRequest`; the
+        run provisions the spec's objects, serves its trace through the
+        agents (degraded reads decode lost blocks on the fly via the shared
+        :attr:`plan_cache`), queues any ``request.repair`` jobs on the
+        scheduler, and simulates foreground and repair flows in one merged
+        wave.  Returns a :class:`repro.workload.serving.ServeResult` with
+        p50/p99 read-latency tables.  See ``docs/SERVING.md``.
+        """
+        from repro.workload.serving import ServeRequest, ServingPlane
+
+        if not isinstance(request, ServeRequest):
+            raise TypeError(
+                f"serve() takes a ServeRequest, got {type(request).__name__}"
+            )
+        plane = ServingPlane(
+            self,
+            request.spec,
+            foreground_weight=request.foreground_weight,
+            decode_mbps=request.decode_mbps,
+        )
+        return plane.run(repair=request.repair)
+
     # -------------------------------------------------------------- #
     # failure handling
     # -------------------------------------------------------------- #

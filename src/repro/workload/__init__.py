@@ -1,0 +1,33 @@
+"""Client workload generation and the online serving plane.
+
+Two halves (see ``docs/SERVING.md``):
+
+* :mod:`repro.workload.generator` — seeded, deterministic client load:
+  zipf object popularity, open-loop Poisson arrivals, replayable traces;
+* :mod:`repro.workload.serving` — :class:`ServingPlane` runs a trace
+  against a coordinator with an on-the-fly degraded-read path and merges
+  the foreground flows into the repair scheduler's fluid simulation, so
+  read-latency percentiles reflect contention with repair storms.
+
+Entry point: build a :class:`ServeRequest` and call
+:meth:`Coordinator.serve <repro.system.coordinator.Coordinator.serve>`.
+"""
+
+from repro.workload.generator import (
+    ClientOp,
+    WorkloadGenerator,
+    WorkloadSpec,
+    object_payload,
+)
+from repro.workload.serving import OpOutcome, ServeRequest, ServeResult, ServingPlane
+
+__all__ = [
+    "ClientOp",
+    "OpOutcome",
+    "ServeRequest",
+    "ServeResult",
+    "ServingPlane",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "object_payload",
+]

@@ -1,0 +1,197 @@
+"""Seeded, deterministic client load generation.
+
+The generator models the front-end traffic the ROADMAP's "millions of
+users" north star implies, with the two standard ingredients of storage
+traces:
+
+* **zipf object popularity** — object ranks are drawn from a normalized
+  ``rank**-s`` law via inverse-CDF sampling, so a small hot set absorbs
+  most reads (``s = 0`` degenerates to uniform);
+* **open-loop Poisson arrivals** — inter-arrival gaps are exponential at
+  ``rate_ops_s``, and arrival times never depend on how long earlier
+  operations took.  Open-loop load is what makes degraded-read latency an
+  honest metric: a slow system does not slow the offered load down.
+
+Determinism is a hard contract, not a convenience: one
+:class:`WorkloadSpec` seed fans out (via :class:`numpy.random.SeedSequence`
+spawning) into *independent* substreams for arrivals and per-op detail, so
+
+* the same spec always yields the byte-identical :meth:`trace
+  <WorkloadGenerator.trace_bytes>`, and
+* changing read/write mix or popularity skew cannot move a single arrival
+  tick (the property tests pin both).
+
+Payload bytes are part of the same contract: :func:`object_payload` and
+:meth:`WorkloadGenerator.patch_bytes` derive every object body and write
+patch from the spec seed, so a differential test can recompute the exact
+expected bytes of any object at any point of a run without snapshotting
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: domain-separation tags for seed-derived byte streams, so object bodies
+#: and write patches can never collide even for equal integer ids.
+_OBJECT_STREAM = 0
+_PATCH_STREAM = 1
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that defines a client workload (hashable, reusable).
+
+    ``duration_s`` bounds the open-loop arrival window; ``rate_ops_s`` is
+    the Poisson arrival rate; ``zipf_s`` the popularity skew exponent
+    (``0`` = uniform); ``read_fraction`` the probability an op is a whole-
+    object read (the rest are ``write_bytes``-sized in-place updates at a
+    uniform offset).
+    """
+
+    n_objects: int = 16
+    object_bytes: int = 1 << 16
+    duration_s: float = 10.0
+    rate_ops_s: float = 4.0
+    zipf_s: float = 1.1
+    read_fraction: float = 0.9
+    write_bytes: int = 256
+    seed: int = 20230717
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValueError("n_objects must be >= 1")
+        if self.object_bytes < 1:
+            raise ValueError("object_bytes must be >= 1")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.rate_ops_s <= 0:
+            raise ValueError("rate_ops_s must be positive")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not 1 <= self.write_bytes <= self.object_bytes:
+            raise ValueError("write_bytes must be in [1, object_bytes]")
+
+    def object_name(self, i: int) -> str:
+        """The canonical name of the rank-``i`` object (0 = hottest)."""
+        if not 0 <= i < self.n_objects:
+            raise ValueError(f"object index {i} out of range 0..{self.n_objects - 1}")
+        return f"obj{i:04d}"
+
+    def zipf_pmf(self) -> np.ndarray:
+        """Theoretical popularity of each object rank (sums to 1)."""
+        ranks = np.arange(1, self.n_objects + 1, dtype=np.float64)
+        weights = ranks ** -self.zipf_s
+        return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class ClientOp:
+    """One generated client operation.
+
+    ``kind`` is ``"read"`` (whole object) or ``"write"`` (an in-place
+    patch of ``nbytes`` at ``offset``); ``t_s`` is the open-loop arrival
+    time in simulated seconds.
+    """
+
+    op_id: int
+    t_s: float
+    kind: str
+    obj: str
+    offset: int
+    nbytes: int
+
+
+def object_payload(spec: WorkloadSpec, i: int) -> bytes:
+    """The deterministic initial body of object ``i`` under ``spec``."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence([spec.seed, _OBJECT_STREAM, i])
+    )
+    return rng.integers(0, 256, size=spec.object_bytes, dtype=np.uint8).tobytes()
+
+
+class WorkloadGenerator:
+    """Replayable op-trace generator for one :class:`WorkloadSpec`.
+
+    Stateless between calls: :meth:`arrivals`, :meth:`ops`, and
+    :meth:`trace_bytes` rebuild their RNG substreams from the spec seed
+    every time, so repeated calls (and repeated runs) agree byte for byte.
+    """
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+
+    # -------------------------------------------------------------- #
+    # substreams
+    # -------------------------------------------------------------- #
+    def _substreams(self) -> tuple[np.random.Generator, np.random.Generator]:
+        """Fresh (arrival, op-detail) generators from the spec seed.
+
+        Spawned from one :class:`~numpy.random.SeedSequence` so the two
+        streams are statistically independent: consuming more or fewer
+        op-detail draws can never shift an arrival time.
+        """
+        arr_ss, op_ss = np.random.SeedSequence(self.spec.seed).spawn(2)
+        return np.random.default_rng(arr_ss), np.random.default_rng(op_ss)
+
+    # -------------------------------------------------------------- #
+    # generation
+    # -------------------------------------------------------------- #
+    def arrivals(self) -> list[float]:
+        """Open-loop Poisson arrival times within ``[0, duration_s)``."""
+        rng, _ = self._substreams()
+        scale = 1.0 / self.spec.rate_ops_s
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(scale))
+            if t >= self.spec.duration_s:
+                return out
+            out.append(t)
+
+    def ops(self) -> list[ClientOp]:
+        """The full deterministic op trace for the spec."""
+        spec = self.spec
+        _, op_rng = self._substreams()
+        cdf = np.cumsum(spec.zipf_pmf())
+        out: list[ClientOp] = []
+        for op_id, t in enumerate(self.arrivals()):
+            rank = int(np.searchsorted(cdf, op_rng.random(), side="right"))
+            rank = min(rank, spec.n_objects - 1)  # guard the u == 1.0 edge
+            if op_rng.random() < spec.read_fraction:
+                kind, offset, nbytes = "read", 0, spec.object_bytes
+            else:
+                kind = "write"
+                offset = int(
+                    op_rng.integers(0, spec.object_bytes - spec.write_bytes + 1)
+                )
+                nbytes = spec.write_bytes
+            out.append(
+                ClientOp(op_id, t, kind, spec.object_name(rank), offset, nbytes)
+            )
+        return out
+
+    def patch_bytes(self, op: ClientOp) -> bytes:
+        """The deterministic payload of a write op (keyed by its id)."""
+        if op.kind != "write":
+            raise ValueError(f"op {op.op_id} is a {op.kind}, not a write")
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.spec.seed, _PATCH_STREAM, op.op_id])
+        )
+        return rng.integers(0, 256, size=op.nbytes, dtype=np.uint8).tobytes()
+
+    def trace_bytes(self) -> bytes:
+        """Canonical byte encoding of the trace (for byte-identity tests).
+
+        One line per op; arrival times use ``repr`` so every bit of the
+        float is part of the contract.
+        """
+        lines = [
+            f"{op.op_id},{op.t_s!r},{op.kind},{op.obj},{op.offset},{op.nbytes}"
+            for op in self.ops()
+        ]
+        return ("\n".join(lines) + "\n").encode() if lines else b""

@@ -1,0 +1,510 @@
+"""Online serving plane: client reads/writes under live repair traffic.
+
+:class:`ServingPlane` drives a :class:`~repro.workload.generator.
+WorkloadSpec` trace against a :class:`~repro.system.coordinator.
+Coordinator`, in the same two-plane style every other layer uses:
+
+* **data plane** — each read fetches its stripes' blocks from the agents
+  through the metered :class:`~repro.system.bus.DataBus`.  A read landing
+  on a dead/empty node takes the **degraded path**: the first ``k``
+  surviving blocks ship to the gateway and the lost data blocks decode on
+  the fly through the coordinator's shared
+  :class:`~repro.repair.batch.PlanCache` /
+  :class:`~repro.repair.batch.BatchRepairEngine` — bit-exact with a
+  healthy read by construction (the differential suite pins it).  A stripe
+  with fewer than ``k`` survivors raises
+  :class:`~repro.faults.errors.StripeUnrecoverable`.  Writes go through
+  :meth:`Coordinator.update`'s parity-delta path.
+* **timing plane** — every op contributes arrival-gated
+  :class:`~repro.simnet.flows.Flow`/:class:`~repro.simnet.flows.DelayTask`
+  tasks at the foreground weight, merged into the **same**
+  :class:`~repro.simnet.fluid.FluidSimulator` wave as any queued repair
+  jobs via :meth:`RepairScheduler.run_pending(foreground=...)
+  <repro.sched.scheduler.RepairScheduler.run_pending>` — so a repair storm
+  genuinely steals bandwidth from users in proportion to the scheduler's
+  priority weights.  Degraded reads additionally pay a *modeled* decode
+  delay (``blocks x block_size_mb / decode_mbps``), never wall clock, so
+  every latency percentile is deterministic.
+
+Per-op read latencies summarize through
+:func:`repro.obs.metrics.latency_summary` into p50/p99 tables for the
+three regimes the ISSUE names (healthy / degraded / repair storm); with an
+:class:`~repro.obs.session.Observability` session attached the run also
+emits ``workload.*`` spans in both clock domains and ``workload.*`` metric
+series, without changing a single reported number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ec.stripe import block_name
+from repro.faults.errors import StripeUnrecoverable
+from repro.obs.metrics import latency_summary
+from repro.repair.batch import BatchRepairEngine
+from repro.simnet.flows import DelayTask, Flow
+from repro.system.request import RepairRequest
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec, object_payload
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One serving scenario: a workload plus an optional repair storm.
+
+    ``repair`` requests are queued on the coordinator's scheduler and run
+    in the same merged simulation as the workload's foreground tasks (at
+    most one may carry a fault schedule, mirroring
+    :meth:`Coordinator.repair <repro.system.coordinator.Coordinator.
+    repair>`'s multi-request rules).  ``foreground_weight`` is the fair-
+    share weight of every client flow (the scheduler's foreground class
+    default is 4.0); ``decode_mbps`` the modeled gateway decode throughput
+    charged per degraded block.
+    """
+
+    spec: WorkloadSpec
+    repair: tuple = ()
+    foreground_weight: float = 4.0
+    decode_mbps: float = 1024.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "repair", tuple(self.repair))
+        if self.foreground_weight <= 0:
+            raise ValueError("foreground_weight must be positive")
+        if self.decode_mbps <= 0:
+            raise ValueError("decode_mbps must be positive")
+        for r in self.repair:
+            if not isinstance(r, RepairRequest):
+                raise TypeError(
+                    f"repair entries must be RepairRequest, got {type(r).__name__}"
+                )
+        if sum(1 for r in self.repair if r.faults is not None) > 1:
+            raise ValueError("at most one repair request per run may carry faults")
+
+
+@dataclass(frozen=True)
+class OpOutcome:
+    """What one client op did and how long it took (simulated seconds).
+
+    ``digest`` is the sha256 of the returned payload for completed reads
+    (chaos tests verify bytes without keeping payloads around); failed
+    reads carry the :class:`~repro.faults.errors.StripeUnrecoverable`
+    message in ``error`` and are excluded from the latency percentiles.
+    """
+
+    op_id: int
+    kind: str
+    obj: str
+    t_s: float
+    ok: bool
+    degraded: bool
+    degraded_stripes: int
+    nbytes: int
+    digest: str
+    finish_s: float
+    latency_s: float
+    error: str = ""
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one :meth:`ServingPlane.run`."""
+
+    spec: WorkloadSpec
+    outcomes: list[OpOutcome]
+    #: :func:`~repro.obs.metrics.latency_summary` tables over completed
+    #: reads: all of them, the healthy subset, and the degraded subset.
+    latency: dict
+    latency_healthy: dict
+    latency_degraded: dict
+    reads: int
+    degraded_reads: int
+    failed_reads: int
+    writes: int
+    failed_writes: int
+    #: bytes the foreground data plane itself metered on the bus (block
+    #: fetches to gateways + parity deltas); conservation tests check this
+    #: against :meth:`DataBus.total_bytes` deltas.
+    foreground_bytes: int
+    #: total bus-byte delta across the run (foreground + any repair jobs).
+    bus_bytes_delta: int
+    #: scheduler-global simulated makespan of the merged run.
+    makespan_s: float
+    #: the merged wave's :class:`~repro.sched.scheduler.SchedulerReport`.
+    repair: object = None
+    plan_cache_stats: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """Golden-friendly scalar view (deterministic, wall-clock-free)."""
+        return {
+            "ops": len(self.outcomes),
+            "reads": self.reads,
+            "degraded_reads": self.degraded_reads,
+            "failed_reads": self.failed_reads,
+            "writes": self.writes,
+            "failed_writes": self.failed_writes,
+            "latency_all": self.latency,
+            "latency_healthy": self.latency_healthy,
+            "latency_degraded": self.latency_degraded,
+            "foreground_bytes": self.foreground_bytes,
+            "makespan_s": self.makespan_s,
+            "repair_jobs": len(self.repair.jobs) if self.repair is not None else 0,
+            "repair_makespan_s": (
+                self.repair.makespan_s if self.repair is not None else 0.0
+            ),
+        }
+
+
+class ServingPlane:
+    """Serves one workload against a coordinator (see the module docstring).
+
+    Reusable: :meth:`provision` is idempotent, and every :meth:`run`
+    regenerates the trace from the spec seed, so the same plane can serve
+    the same workload across healthy/degraded/storm regimes of one system
+    (the canonical golden scenario does exactly that).
+    """
+
+    def __init__(
+        self,
+        coord,
+        spec: WorkloadSpec,
+        *,
+        foreground_weight: float = 4.0,
+        decode_mbps: float = 1024.0,
+    ):
+        if foreground_weight <= 0:
+            raise ValueError("foreground_weight must be positive")
+        if decode_mbps <= 0:
+            raise ValueError("decode_mbps must be positive")
+        self.coord = coord
+        self.spec = spec
+        self.foreground_weight = foreground_weight
+        self.decode_mbps = decode_mbps
+        self.gen = WorkloadGenerator(spec)
+
+    # -------------------------------------------------------------- #
+    # provisioning
+    # -------------------------------------------------------------- #
+    def provision(self) -> int:
+        """Write every workload object that does not exist yet.
+
+        Object bodies come from :func:`~repro.workload.generator.
+        object_payload`, so a test can recompute any object's expected
+        bytes from the spec alone.  Returns how many objects were written.
+        """
+        coord, spec = self.coord, self.spec
+        written = 0
+        for i in range(spec.n_objects):
+            name = spec.object_name(i)
+            if name in coord.files:
+                continue
+            coord.write(name, object_payload(spec, i))
+            written += 1
+        return written
+
+    # -------------------------------------------------------------- #
+    # data plane
+    # -------------------------------------------------------------- #
+    def read_object(self, name: str, *, gateway: int | None = None) -> bytes:
+        """The exact bytes a client read of ``name`` returns right now.
+
+        Data plane only (no timing tasks): fetches are metered on the bus
+        and lost data blocks decode through the shared plan cache — the
+        same path :meth:`run` takes, so differential tests can compare a
+        degraded read against a healthy one byte for byte.  Raises
+        :class:`~repro.faults.errors.StripeUnrecoverable` when any stripe
+        has fewer than ``k`` survivors.
+        """
+        gw = gateway if gateway is not None else self._gateways()[0]
+        engine = BatchRepairEngine(
+            self.coord.code, cache=self.coord.plan_cache, obs=self.coord.obs
+        )
+        payload, _, _ = self._read_plan(name, gw, engine, None, "")
+        return payload
+
+    def _gateways(self) -> list[int]:
+        gws = sorted(self.coord.data_nodes())
+        if not gws:
+            raise RuntimeError("no alive data nodes to serve from")
+        return gws
+
+    def _read_plan(self, name, gateway, engine, tasks, task_prefix):
+        """Fetch + decode one object; returns (payload, degraded_stripes, metered).
+
+        When ``tasks`` is a list, appends the op's timing tasks to it
+        (``task_prefix`` must then be the op's unique ``fg:<id>:`` prefix,
+        with the arrival task ``<prefix>arr`` already present).
+        """
+        coord = self.coord
+        code = coord.code
+        k = code.k
+        stripe_ids, length = coord.files[name]
+        stripes = {s.stripe_id: s for s in coord.layout}
+        chunks = []
+        degraded_stripes = 0
+        metered = 0
+        for sid in stripe_ids:
+            stripe = stripes[sid]
+            available: dict[int, int] = {}
+            for b, node in enumerate(stripe.placement):
+                agent = coord.agents[node]
+                if agent.alive and agent.store.has(block_name(sid, b)):
+                    available[b] = node
+            missing = [b for b in range(k) if b not in available]
+            if missing and len(available) < k:
+                raise StripeUnrecoverable(sid, len(available), k)
+            chosen = sorted(available)[:k] if missing else list(range(k))
+            bufs: dict[int, np.ndarray] = {}
+            flow_ids: list[str] = []
+            for b in chosen:
+                host = available[b]
+                buf = coord.agents[host].read_block(block_name(sid, b))
+                if host != gateway:
+                    coord.bus.check(host, gateway, buf.nbytes)
+                    coord.bus.record(host, gateway, buf.nbytes)
+                    metered += buf.nbytes
+                    if tasks is not None:
+                        fid = f"{task_prefix}s{sid}:b{b}"
+                        tasks.append(
+                            Flow(
+                                fid, host, gateway, coord.block_size_mb,
+                                deps=(f"{task_prefix}arr",), tag="fg",
+                                weight=self.foreground_weight,
+                            )
+                        )
+                        flow_ids.append(fid)
+                bufs[b] = buf
+            if missing:
+                degraded_stripes += 1
+                stacked = np.stack([bufs[b] for b in chosen])[None, ...]
+                decoded = engine.decode_batch(tuple(chosen), tuple(missing), stacked)
+                for j, b in enumerate(missing):
+                    bufs[b] = decoded[0, j]
+                if tasks is not None:
+                    # modeled decode cost at the gateway, gated on the
+                    # stripe's fetches — deterministic, never wall clock.
+                    tasks.append(
+                        DelayTask(
+                            f"{task_prefix}dec{sid}",
+                            len(missing) * coord.block_size_mb / self.decode_mbps,
+                            node=gateway,
+                            deps=tuple(flow_ids) or (f"{task_prefix}arr",),
+                            tag="fg",
+                        )
+                    )
+            chunks.append(np.concatenate([bufs[b] for b in range(k)]))
+        payload = np.concatenate(chunks)[:length].tobytes()
+        return payload, degraded_stripes, metered
+
+    def _write_plan(self, op, tasks, task_prefix):
+        """Apply one write op; returns (ok, metered_bytes).
+
+        Pre-checks every touched data-block host so a doomed write fails
+        without mutating anything (:meth:`Coordinator.update` would raise
+        mid-stripe otherwise).  Timing: one foreground flow per applied
+        parity delta — exactly the transfers the data plane metered.
+        """
+        coord = self.coord
+        k, bb = coord.code.k, coord.block_bytes
+        stripe_payload = k * bb
+        patch = self.gen.patch_bytes(op)
+        stripe_ids, _ = coord.files[op.obj]
+        stripes = {s.stripe_id: s for s in coord.layout}
+        touched: list[tuple[int, int, int]] = []
+        pos = 0
+        while pos < len(patch):
+            abs_off = op.offset + pos
+            sid = stripe_ids[abs_off // stripe_payload]
+            bi = (abs_off % stripe_payload) // bb
+            touched.append((sid, bi, stripes[sid].placement[bi]))
+            pos += min(bb - abs_off % bb, len(patch) - pos)
+        if any(not coord.agents[n].alive for _, _, n in touched):
+            return False, 0
+        res = coord.update(op.obj, op.offset, patch)
+        if tasks is not None:
+            for sid, bi, node in touched:
+                for j in range(coord.code.m):
+                    pnode = stripes[sid].placement[k + j]
+                    if not coord.agents[pnode].alive:
+                        continue
+                    tasks.append(
+                        Flow(
+                            f"{task_prefix}w{sid}:{bi}:p{j}",
+                            node, pnode, coord.block_size_mb,
+                            deps=(f"{task_prefix}arr",), tag="fg",
+                            weight=self.foreground_weight,
+                        )
+                    )
+        return True, res["parity_deltas"] * bb
+
+    # -------------------------------------------------------------- #
+    # the run
+    # -------------------------------------------------------------- #
+    def run(self, repair=()) -> ServeResult:
+        """Serve the whole trace, merged with ``repair`` storm jobs.
+
+        The foreground data plane executes first (reads return what the
+        cluster holds *before* this run's repairs land — the degraded-read
+        regime), then the timing plane runs every foreground task and every
+        repair job through one merged scheduler pass.
+        """
+        coord, spec = self.coord, self.spec
+        self.provision()
+        obs = coord.obs
+        ops = self.gen.ops()
+        engine = BatchRepairEngine(coord.code, cache=coord.plan_cache, obs=obs)
+        gateways = self._gateways()
+        bus_before = coord.bus.total_bytes()
+        fg_tasks: list = []
+        records: list[dict] = []
+        fg_bytes = 0
+        root = None
+        if obs is not None:
+            root = obs.tracer.begin(
+                "workload.run", actor="serving", cat="workload",
+                ops=len(ops), objects=spec.n_objects, seed=spec.seed,
+            )
+        try:
+            for op in ops:
+                prefix = f"fg:{op.op_id}:"
+                gw = gateways[op.op_id % len(gateways)]
+                fg_tasks.append(DelayTask(f"{prefix}arr", op.t_s, tag="fg"))
+                rec = {
+                    "op": op, "ok": True, "degraded_stripes": 0,
+                    "nbytes": 0, "digest": "", "error": "",
+                }
+                span = None
+                if obs is not None:
+                    span = obs.tracer.begin(
+                        f"workload.op:{op.op_id}", actor="serving",
+                        cat="workload", op=op.op_id, kind=op.kind, obj=op.obj,
+                    )
+                try:
+                    if op.kind == "read":
+                        try:
+                            payload, deg, metered = self._read_plan(
+                                op.obj, gw, engine, fg_tasks, prefix
+                            )
+                        except StripeUnrecoverable as err:
+                            rec["ok"] = False
+                            rec["error"] = f"{type(err).__name__}: {err}"
+                        else:
+                            rec["degraded_stripes"] = deg
+                            rec["nbytes"] = len(payload)
+                            rec["digest"] = hashlib.sha256(payload).hexdigest()
+                            fg_bytes += metered
+                    else:
+                        ok, metered = self._write_plan(op, fg_tasks, prefix)
+                        rec["ok"] = ok
+                        rec["nbytes"] = op.nbytes if ok else 0
+                        if not ok:
+                            rec["error"] = "write touched a dead data node"
+                        fg_bytes += metered
+                finally:
+                    if span is not None:
+                        obs.tracer.end(
+                            span, ok=rec["ok"],
+                            degraded=rec["degraded_stripes"] > 0,
+                        )
+                records.append(rec)
+
+            report = self._run_merged(repair, fg_tasks)
+        finally:
+            if root is not None:
+                obs.tracer.unwind(root)
+        return self._assemble(records, report, fg_bytes, bus_before)
+
+    def _run_merged(self, repair, fg_tasks):
+        """Queue the storm requests and run one merged scheduler pass."""
+        coord = self.coord
+        reqs = list(repair)
+        faulted = [r for r in reqs if r.faults is not None]
+        if len(faulted) > 1:
+            raise ValueError("at most one repair request per run may carry faults")
+        for r in reqs:
+            coord.sched.submit(
+                scheme=r.scheme, stripes=r.stripes, priority=r.priority,
+                weight=r.weight, arrival_s=r.arrival_s,
+            )
+        workers = max((r.workers for r in reqs), default=1)
+        return coord.sched.run_pending(
+            verify=all(r.verify for r in reqs),
+            faults=faulted[0].faults if faulted else None,
+            workers=workers,
+            batched=any(r.batched for r in reqs) or workers > 1,
+            foreground=tuple(fg_tasks),
+        )
+
+    def _assemble(self, records, report, fg_bytes, bus_before) -> ServeResult:
+        """Resolve per-op finishes from the merged sim and summarize."""
+        coord = self.coord
+        obs = coord.obs
+        fin = report.foreground_finish_s
+        outcomes: list[OpOutcome] = []
+        for rec in records:
+            op = rec["op"]
+            prefix = f"fg:{op.op_id}:"
+            # clamped at t_s: the sim's arrival-task finish can drift a
+            # last ulp below the exact arrival time it was given.
+            finish = max(
+                max(
+                    (t for tid, t in fin.items() if tid.startswith(prefix)),
+                    default=op.t_s,
+                ),
+                op.t_s,
+            )
+            outcomes.append(
+                OpOutcome(
+                    op_id=op.op_id, kind=op.kind, obj=op.obj, t_s=op.t_s,
+                    ok=rec["ok"], degraded=rec["degraded_stripes"] > 0,
+                    degraded_stripes=rec["degraded_stripes"],
+                    nbytes=rec["nbytes"], digest=rec["digest"],
+                    finish_s=finish, latency_s=max(finish - op.t_s, 0.0),
+                    error=rec["error"],
+                )
+            )
+        reads = [o for o in outcomes if o.kind == "read"]
+        done = [o for o in reads if o.ok]
+        degraded = [o for o in done if o.degraded]
+        healthy = [o for o in done if not o.degraded]
+        writes = [o for o in outcomes if o.kind == "write"]
+        result = ServeResult(
+            spec=self.spec,
+            outcomes=outcomes,
+            latency=latency_summary(o.latency_s for o in done),
+            latency_healthy=latency_summary(o.latency_s for o in healthy),
+            latency_degraded=latency_summary(o.latency_s for o in degraded),
+            reads=len(done),
+            degraded_reads=len(degraded),
+            failed_reads=len(reads) - len(done),
+            writes=sum(1 for o in writes if o.ok),
+            failed_writes=sum(1 for o in writes if not o.ok),
+            foreground_bytes=fg_bytes,
+            bus_bytes_delta=coord.bus.total_bytes() - bus_before,
+            makespan_s=report.makespan_s,
+            repair=report,
+            plan_cache_stats=coord.plan_cache.stats(),
+        )
+        if obs is not None:
+            for o in outcomes:
+                obs.tracer.add(
+                    f"workload.op:{o.op_id}", actor="client", cat="workload.sim",
+                    t0=o.t_s, t1=max(o.finish_s, o.t_s),
+                    op=o.op_id, kind=o.kind, ok=o.ok, degraded=o.degraded,
+                )
+            m = obs.metrics
+            m.counter("workload.ops").inc(len(outcomes))
+            m.counter("workload.reads").inc(len(done))
+            m.counter("workload.degraded_reads").inc(len(degraded))
+            m.counter("workload.unrecoverable").inc(result.failed_reads)
+            m.counter("workload.writes").inc(result.writes)
+            m.counter("workload.failed_writes").inc(result.failed_writes)
+            m.counter("workload.read_bytes").inc(sum(o.nbytes for o in done))
+            m.counter("workload.foreground_bytes").inc(fg_bytes)
+            for o in done:
+                m.histogram("workload.read_latency_s").observe(o.latency_s)
+            for o in degraded:
+                m.histogram("workload.degraded_read_latency_s").observe(o.latency_s)
+        return result

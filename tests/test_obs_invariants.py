@@ -263,3 +263,109 @@ def test_spares_added_after_attach_are_hooked():
     assert coord.agents[40].obs_hook is not None
     obs.detach(coord)
     assert coord.agents[40].obs_hook is None
+
+
+# ------------------------------------------------------------------ #
+# the serving plane holds the same three guarantees (ISSUE 6)
+# ------------------------------------------------------------------ #
+from repro.system.request import RepairRequest  # noqa: E402
+from repro.workload import ServingPlane, WorkloadSpec  # noqa: E402
+
+_SERVE_SPEC = WorkloadSpec(
+    n_objects=5, object_bytes=2 * K * BLOCK_BYTES, duration_s=5.0,
+    rate_ops_s=6.0, read_fraction=0.85, write_bytes=128, seed=777,
+)
+
+
+def _build_serving(kill=0):
+    """A fresh provisioned serving plane (same pinned cluster as _build)."""
+    coord, _ = _build()
+    plane = ServingPlane(coord, _SERVE_SPEC)
+    plane.provision()
+    if kill:
+        sid0 = coord.files[_SERVE_SPEC.object_name(0)][0][0]
+        stripe = next(s for s in coord.layout if s.stripe_id == sid0)
+        for v in stripe.placement[:kill]:
+            coord.crash_node(v)
+    return coord, plane
+
+
+def test_serving_foreground_bytes_conserve_on_bus():
+    """Healthy serving: foreground bytes == bus delta == transfer-span sum."""
+    coord, plane = _build_serving()
+    before = coord.bus.total_bytes()
+    obs = Observability().attach(coord)
+    res = plane.run()
+    assert res.foreground_bytes == res.bus_bytes_delta
+    assert res.bus_bytes_delta == coord.bus.total_bytes() - before
+    spans = obs.tracer.find(cat="transfer", domain=OPS_DOMAIN)
+    assert sum(s.args["bytes"] for s in spans) == res.bus_bytes_delta
+
+
+def test_serving_merged_wave_conserves_bytes():
+    """foreground + repair bytes == the merged run's bus delta, exactly.
+
+    The repair share comes from a twin system running the identical storm
+    with no foreground traffic (the data planes are independent, so its
+    bus delta *is* the repair's share of the merged run).
+    """
+    storm = (RepairRequest(scheme="hmbr", batched=True, priority="background"),)
+    c1, p1 = _build_serving(kill=2)
+    res = p1.run(repair=storm)
+    assert res.degraded_reads > 0
+
+    c2, _ = _build_serving(kill=2)  # same seed -> same placement, same kills
+    before = c2.bus.total_bytes()
+    c2.sched.submit(scheme="hmbr", priority="background")
+    c2.sched.run_pending(batched=True)
+    repair_share = c2.bus.total_bytes() - before
+
+    assert res.bus_bytes_delta == res.foreground_bytes + repair_share
+    assert repair_share > 0
+
+
+def test_serving_attached_session_is_value_identical():
+    """Percentiles, outcomes, and bytes match bit-exactly attached/detached."""
+    storm = (RepairRequest(scheme="hmbr", batched=True, priority="background"),)
+    _, p1 = _build_serving(kill=2)
+    r1 = p1.run(repair=storm)
+
+    c2, p2 = _build_serving(kill=2)
+    obs = Observability().attach(c2)
+    r2 = p2.run(repair=storm)
+
+    assert r1.summary() == r2.summary()
+    assert r1.outcomes == r2.outcomes
+    assert (r1.foreground_bytes, r1.bus_bytes_delta) == (
+        r2.foreground_bytes,
+        r2.bus_bytes_delta,
+    )
+    # and the attached session's histograms reproduce the result tables
+    snap = obs.metrics.snapshot()
+    assert snap["histograms"]["workload.read_latency_s"] == r2.latency
+    assert snap["histograms"]["workload.degraded_read_latency_s"] == r2.latency_degraded
+    assert snap["counters"]["workload.degraded_reads"] == r2.degraded_reads
+    assert snap["counters"]["workload.foreground_bytes"] == r2.foreground_bytes
+
+
+def test_serving_trace_is_well_formed_in_both_domains():
+    coord, plane = _build_serving(kill=2)
+    obs = Observability().attach(coord)
+    res = plane.run(
+        repair=(RepairRequest(scheme="hmbr", batched=True, priority="background"),)
+    )
+
+    t = obs.tracer
+    t.validate()
+    roots = [s for s in t.find(cat="workload", domain=OPS_DOMAIN) if s.name == "workload.run"]
+    assert len(roots) == 1
+    op_spans = [s for s in t.find(cat="workload", domain=OPS_DOMAIN) if s.name != "workload.run"]
+    assert len(op_spans) == len(res.outcomes)
+    # sim-domain timeline: one span per op, spanning arrival -> finish
+    sim = t.find(cat="workload.sim", domain=SIM_DOMAIN)
+    assert len(sim) == len(res.outcomes)
+    by_op = {s.args["op"]: s for s in sim}
+    for o in res.outcomes:
+        span = by_op[o.op_id]
+        assert span.t0 == o.t_s
+        assert span.t1 == max(o.finish_s, o.t_s)

@@ -1,0 +1,169 @@
+"""Property tests for the workload generator (ISSUE 6 satellite 1).
+
+Three contracts:
+
+* **determinism** — one seed, one byte-identical trace, across generator
+  instances and repeated calls;
+* **zipf popularity** — empirical object frequencies converge to the
+  spec's theoretical ``rank**-s`` pmf;
+* **open-loop arrivals** — arrival times are independent of everything
+  service-side: read/write mix, popularity skew, patch size.  Only the
+  seed, rate, and duration may move an arrival tick.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload import ClientOp, WorkloadGenerator, WorkloadSpec, object_payload
+from tests.seeds import DEFAULT_MASTER_SEED, seed_fanout
+
+
+def _spec(**kw):
+    base = dict(
+        n_objects=12, object_bytes=4096, duration_s=50.0, rate_ops_s=20.0,
+        zipf_s=1.1, read_fraction=0.8, write_bytes=64, seed=DEFAULT_MASTER_SEED,
+    )
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+# ------------------------------------------------------------------ #
+# determinism
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("seed", seed_fanout(DEFAULT_MASTER_SEED, 3))
+def test_same_seed_byte_identical_trace(seed):
+    spec = _spec(seed=seed)
+    a = WorkloadGenerator(spec).trace_bytes()
+    b = WorkloadGenerator(spec).trace_bytes()
+    assert a == b
+    assert a  # a 50s x 20ops/s window is never empty
+    # and repeated calls on one instance agree too (no hidden RNG state)
+    gen = WorkloadGenerator(spec)
+    assert gen.trace_bytes() == a
+    assert gen.trace_bytes() == a
+
+
+def test_different_seeds_differ():
+    assert (
+        WorkloadGenerator(_spec(seed=1)).trace_bytes()
+        != WorkloadGenerator(_spec(seed=2)).trace_bytes()
+    )
+
+
+def test_payloads_are_deterministic_and_distinct():
+    spec = _spec()
+    assert object_payload(spec, 0) == object_payload(spec, 0)
+    assert object_payload(spec, 0) != object_payload(spec, 1)
+    assert len(object_payload(spec, 0)) == spec.object_bytes
+    gen = WorkloadGenerator(spec)
+    writes = [op for op in gen.ops() if op.kind == "write"]
+    assert writes, "spec must generate some writes"
+    op = writes[0]
+    assert gen.patch_bytes(op) == gen.patch_bytes(op)
+    assert len(gen.patch_bytes(op)) == op.nbytes
+    with pytest.raises(ValueError):
+        gen.patch_bytes(next(o for o in gen.ops() if o.kind == "read"))
+
+
+# ------------------------------------------------------------------ #
+# zipf popularity
+# ------------------------------------------------------------------ #
+def test_zipf_empirical_matches_theoretical():
+    spec = _spec(duration_s=400.0, rate_ops_s=25.0)  # ~10k ops
+    ops = WorkloadGenerator(spec).ops()
+    counts = np.zeros(spec.n_objects)
+    for op in ops:
+        counts[int(op.obj[3:])] += 1
+    empirical = counts / counts.sum()
+    pmf = spec.zipf_pmf()
+    assert pmf == pytest.approx(np.sort(pmf)[::-1])  # rank 0 is hottest
+    assert np.abs(empirical - pmf).max() < 0.02
+    # the skew is real: the hottest object beats the uniform share clearly
+    assert empirical[0] > 2.0 / spec.n_objects
+
+
+def test_zipf_zero_is_uniform():
+    spec = _spec(zipf_s=0.0, duration_s=400.0, rate_ops_s=25.0)
+    assert spec.zipf_pmf() == pytest.approx(np.full(spec.n_objects, 1 / spec.n_objects))
+    ops = WorkloadGenerator(spec).ops()
+    counts = np.zeros(spec.n_objects)
+    for op in ops:
+        counts[int(op.obj[3:])] += 1
+    assert np.abs(counts / counts.sum() - 1 / spec.n_objects).max() < 0.02
+
+
+# ------------------------------------------------------------------ #
+# open-loop arrivals
+# ------------------------------------------------------------------ #
+def test_arrivals_sorted_within_window():
+    spec = _spec()
+    arr = WorkloadGenerator(spec).arrivals()
+    assert arr == sorted(arr)
+    assert all(0.0 < t < spec.duration_s for t in arr)
+    ops = WorkloadGenerator(spec).ops()
+    assert [op.t_s for op in ops] == arr  # ops ride the arrival stream verbatim
+
+
+def test_arrivals_independent_of_service_parameters():
+    """Open-loop contract: nothing service-side can move an arrival tick.
+
+    Read/write mix, popularity skew, object sizes, and patch sizes all
+    change what each op *does* — and consume different numbers of op-detail
+    draws — but the arrival substream must be untouched.
+    """
+    base = _spec()
+    baseline = WorkloadGenerator(base).arrivals()
+    for variant in (
+        _spec(read_fraction=0.0),
+        _spec(read_fraction=1.0),
+        _spec(zipf_s=0.0),
+        _spec(zipf_s=2.5),
+        _spec(n_objects=3),
+        _spec(object_bytes=1 << 14, write_bytes=1024),
+    ):
+        assert WorkloadGenerator(variant).arrivals() == baseline
+    # ...while rate/duration/seed do move them
+    assert WorkloadGenerator(_spec(rate_ops_s=5.0)).arrivals() != baseline
+    assert WorkloadGenerator(_spec(seed=DEFAULT_MASTER_SEED + 1)).arrivals() != baseline
+
+
+def test_arrival_rate_close_to_poisson_mean():
+    spec = _spec(duration_s=500.0, rate_ops_s=10.0)
+    arr = WorkloadGenerator(spec).arrivals()
+    assert len(arr) == pytest.approx(5000, rel=0.1)
+
+
+# ------------------------------------------------------------------ #
+# spec validation
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"n_objects": 0},
+        {"object_bytes": 0},
+        {"duration_s": 0.0},
+        {"rate_ops_s": 0.0},
+        {"zipf_s": -0.1},
+        {"read_fraction": 1.5},
+        {"write_bytes": 0},
+        {"write_bytes": 1 << 20},
+    ],
+)
+def test_spec_rejects_bad_values(kw):
+    with pytest.raises(ValueError):
+        _spec(**kw)
+
+
+def test_object_names_and_op_shape():
+    spec = _spec()
+    assert spec.object_name(0) == "obj0000"
+    with pytest.raises(ValueError):
+        spec.object_name(spec.n_objects)
+    for op in WorkloadGenerator(spec).ops():
+        assert isinstance(op, ClientOp)
+        assert op.kind in ("read", "write")
+        if op.kind == "read":
+            assert (op.offset, op.nbytes) == (0, spec.object_bytes)
+        else:
+            assert 0 <= op.offset <= spec.object_bytes - spec.write_bytes
+            assert op.nbytes == spec.write_bytes

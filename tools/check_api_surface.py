@@ -45,6 +45,7 @@ PUBLIC_MODULES = [
     "repro.sched",
     "repro.simnet",
     "repro.system",
+    "repro.workload",
 ]
 
 

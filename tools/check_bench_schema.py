@@ -5,8 +5,8 @@ Usage::
 
     python tools/check_bench_schema.py [path ...]
 
-Defaults to the repo-root ``BENCH_batch.json``, ``BENCH_sched.json``, and
-``BENCH_parallel.json``.
+Defaults to the repo-root ``BENCH_batch.json``, ``BENCH_sched.json``,
+``BENCH_parallel.json``, and ``BENCH_serving.json``.
 Exits non-zero (listing every violation) if a document does not match the
 schema the benchmarks emit, so CI catches a drifting artifact before it is
 uploaded:
@@ -106,6 +106,7 @@ def main(argv: list[str]) -> int:
         REPO / "BENCH_batch.json",
         REPO / "BENCH_sched.json",
         REPO / "BENCH_parallel.json",
+        REPO / "BENCH_serving.json",
     ]
     failures = []
     for path in paths:

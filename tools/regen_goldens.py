@@ -89,10 +89,63 @@ def gen_exp6() -> str:
     return canonical_json(rows)
 
 
+def gen_serving() -> str:
+    """The canonical three-regime serving scenario (ISSUE 6).
+
+    One seeded workload served four ways — healthy, degraded (two dead
+    nodes), and under the same repair storm at weighted vs equal sharing —
+    each regime on a fresh identically-seeded system.  Pins the whole
+    :meth:`~repro.workload.serving.ServeResult.summary` (latency
+    percentiles included: they are simulated time, never wall clock).
+    """
+    from repro.cluster.node import Node
+    from repro.cluster.topology import Cluster
+    from repro.ec.rs import RSCode
+    from repro.system.coordinator import Coordinator
+    from repro.system.request import RepairRequest
+    from repro.workload import ServingPlane, WorkloadSpec
+
+    spec = WorkloadSpec(
+        n_objects=6, object_bytes=2 * 4 * 4096, duration_s=5.0,
+        rate_ops_s=6.0, read_fraction=0.85, write_bytes=256, seed=2023,
+    )
+
+    def build(kill=0, fg_weight=4.0):
+        coord = Coordinator(
+            Cluster([Node(i, 100.0, 100.0) for i in range(12)]),
+            RSCode(4, 2), block_bytes=4096, block_size_mb=32.0,
+            rng=2023, heartbeat_timeout=5.0,
+        )
+        for j in range(4):
+            coord.add_spare(Node(12 + j, 100.0, 100.0))
+        plane = ServingPlane(coord, spec, foreground_weight=fg_weight)
+        plane.provision()
+        if kill:
+            sid0 = coord.files[spec.object_name(0)][0][0]
+            stripe = next(s for s in coord.layout if s.stripe_id == sid0)
+            for v in stripe.placement[:kill]:
+                coord.crash_node(v)
+        return plane
+
+    storm = lambda w=None: (  # noqa: E731
+        RepairRequest(scheme="hmbr", batched=True, priority="background")
+        if w is None
+        else RepairRequest(scheme="hmbr", batched=True, weight=w),
+    )
+    regimes = {
+        "healthy": build().run().summary(),
+        "degraded": build(kill=2).run().summary(),
+        "storm_weighted": build(kill=2).run(repair=storm()).summary(),
+        "storm_equal": build(kill=2, fg_weight=1.0).run(repair=storm(1.0)).summary(),
+    }
+    return canonical_json(regimes)
+
+
 GENERATORS = {
     "exp1": gen_exp1,
     "exp5": gen_exp5,
     "exp6": gen_exp6,
+    "serving": gen_serving,
 }
 
 
