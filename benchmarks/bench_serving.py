@@ -1,10 +1,14 @@
 """Online serving-plane bench: degraded-read latency vs repair makespan.
 
 One seeded workload (zipf reads + writes, open-loop Poisson arrivals) is
-served four ways on identically-seeded fresh systems:
+served several ways on identically-seeded fresh systems:
 
 * **healthy** — no failures;
 * **degraded** — two dead nodes, reads decode lost blocks on the fly;
+* **pipeline sweep** — the same two losses at a deliberately slow decode
+  (so the surcharge dominates), served at ``chunks`` in {1, 2, 4, 8}:
+  the degraded-p99 / healthy-p99 ratio falls toward 1 as chunked decode
+  overlaps the survivor fetches (ISSUE 7);
 * **storm / weighted** — same failures plus a whole-cluster batched
   repair at background weight (0.25) against foreground flows at 4.0;
 * **storm / equal** — the same storm with everything contending at 1.0.
@@ -56,7 +60,8 @@ _PARAMS = {
 }
 
 
-def _serve(*, foreground_weight=4.0, kill=0, repair=()):
+def _serve(*, foreground_weight=4.0, kill=0, repair=(), chunks=1,
+           decode_mbps=1024.0, fast_path=True):
     """One fresh seeded system serving SPEC; returns (result, wall_s)."""
     coord = Coordinator(
         Cluster([Node(i, 100.0, 100.0) for i in range(14)]),
@@ -68,7 +73,10 @@ def _serve(*, foreground_weight=4.0, kill=0, repair=()):
     )
     for j in range(6):
         coord.add_spare(Node(14 + j, 100.0, 100.0))
-    plane = ServingPlane(coord, SPEC, foreground_weight=foreground_weight)
+    plane = ServingPlane(
+        coord, SPEC, foreground_weight=foreground_weight, chunks=chunks,
+        decode_mbps=decode_mbps, fast_path=fast_path,
+    )
     plane.provision()
     if kill:
         stripe0 = next(s for s in coord.layout if s.stripe_id == 0)
@@ -107,6 +115,51 @@ def test_serving_healthy_and_degraded_regimes():
         degraded.latency_degraded["p99"] >= degraded.latency_healthy["p99"]
     )
     _point("serving.degraded", degraded, wall_d)
+
+
+#: the pipeline sweep's chunk grid and its deliberately slow GF decode
+#: (MB/s) — slow enough that the decode surcharge dominates degraded p99,
+#: so overlapping it against the survivor fetches is clearly visible.
+SWEEP_CHUNKS = (1, 2, 4, 8)
+SWEEP_DECODE_MBPS = 16.0
+
+
+def test_serving_pipeline_chunk_sweep():
+    """Chunked decode closes the degraded/healthy p99 gap monotonically."""
+    ratios: dict[int, float] = {}
+    p99_by_chunks: dict[int, float] = {}
+    saved: dict[int, float] = {}
+    wall = 0.0
+    for c in SWEEP_CHUNKS:
+        res, wall_c = _serve(kill=2, chunks=c, decode_mbps=SWEEP_DECODE_MBPS)
+        wall += wall_c
+        assert res.degraded_reads > 0 and res.failed_reads == 0
+        ratios[c] = res.latency_degraded["p99"] / res.latency_healthy["p99"]
+        p99_by_chunks[c] = res.latency_degraded["p99"]
+        saved[c] = res.pipeline_saved_s
+        _point(
+            f"serving.pipeline_c{c}", res, wall_c,
+            chunks=c, pipeline_saved_s=res.pipeline_saved_s,
+            degraded_over_healthy_p99=ratios[c],
+        )
+    # more chunks -> more fetch/decode overlap -> the ratio falls toward 1
+    for a, b in zip(SWEEP_CHUNKS, SWEEP_CHUNKS[1:]):
+        assert ratios[b] < ratios[a], f"ratio must fall: c{a}->{b}"
+    assert min(ratios.values()) >= 1.0 - 1e-9, "degraded never beats healthy"
+    assert saved[1] == 0.0 and all(saved[c] > 0.0 for c in SWEEP_CHUNKS[1:])
+
+    metrics = {f"p99_ratio_c{c}": ratios[c] for c in SWEEP_CHUNKS}
+    metrics.update(
+        {
+            # the headline: degraded p99 saved by the widest pipeline
+            "speedup_x": p99_by_chunks[SWEEP_CHUNKS[0]]
+            / p99_by_chunks[SWEEP_CHUNKS[-1]],
+            "decode_mbps": SWEEP_DECODE_MBPS,
+            "pipeline_saved_s_cmax": saved[SWEEP_CHUNKS[-1]],
+            "wall_s": wall,
+        }
+    )
+    record_serving_point("serving.chunk_sweep", params=_PARAMS, metrics=metrics)
 
 
 def test_serving_storm_policy_tradeoff():

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Serving live traffic through failures: pipelined reads + the fast path.
+
+A 14-node cluster holds (4, 2) stripes and serves a seeded zipf/Poisson
+client workload while two nodes are dead.  Three acts:
+
+1. **degraded vs healthy** — reads landing on lost blocks decode on the
+   fly and pay a latency surcharge over the same run's healthy reads;
+2. **chunked decode pipelining** — the same workload served at
+   ``chunks`` in {1, 2, 4, 8}: per-chunk decodes overlap the remaining
+   survivor fetches, so degraded p99 falls monotonically toward healthy
+   p99 while every payload digest stays identical;
+3. **a repair storm with the fast path** — queue a whole-cluster repair
+   next to the traffic: reads arriving after the scheduler's estimated
+   per-stripe landings skip the degraded path entirely and read the
+   rebuilt blocks from their spares.
+
+Run:  python examples/serving_under_storm.py
+"""
+
+from repro import Cluster, Coordinator, Node, RepairRequest, ServeRequest
+from repro.ec.rs import RSCode
+from repro.workload import ServingPlane, WorkloadSpec
+
+K, M, BLOCK_BYTES = 4, 2, 4096
+
+SPEC = WorkloadSpec(
+    n_objects=8,
+    object_bytes=2 * K * BLOCK_BYTES,
+    duration_s=6.0,
+    rate_ops_s=8.0,
+    read_fraction=0.9,
+    write_bytes=256,
+    seed=20230717,
+)
+
+
+def build():
+    """One fresh, identically-seeded system per regime."""
+    coord = Coordinator(
+        Cluster([Node(i, 100.0, 100.0) for i in range(14)]),
+        RSCode(K, M),
+        block_bytes=BLOCK_BYTES,
+        block_size_mb=48.0,
+        rng=4242,
+        heartbeat_timeout=5.0,
+    )
+    for j in range(6):
+        coord.add_spare(Node(14 + j, 100.0, 100.0))
+    return coord
+
+
+def serve(*, kill=0, repair=(), chunks=1, fast_path=True, decode_mbps=16.0):
+    coord = build()
+    # provision first so the placement exists before we kill anything
+    ServingPlane(coord, SPEC).provision()
+    if kill:
+        stripe0 = next(s for s in coord.layout if s.stripe_id == 0)
+        for v in stripe0.placement[:kill]:
+            coord.crash_node(v)
+    return coord.serve(
+        ServeRequest(
+            spec=SPEC, repair=tuple(repair), chunks=chunks,
+            fast_path=fast_path, decode_mbps=decode_mbps,
+        )
+    )
+
+
+def main() -> None:
+    print("== act 1: the degraded-read surcharge (slow decoder, 16 MB/s) ==")
+    degraded = serve(kill=2)
+    print(
+        f"healthy p99 {degraded.latency_healthy['p99']:6.2f} s   "
+        f"degraded p99 {degraded.latency_degraded['p99']:6.2f} s   "
+        f"({degraded.degraded_reads} degraded reads)"
+    )
+
+    print("\n== act 2: chunked decode overlaps the survivor fetches ==")
+    digests = None
+    for chunks in (1, 2, 4, 8):
+        res = serve(kill=2, chunks=chunks)
+        ratio = res.latency_degraded["p99"] / res.latency_healthy["p99"]
+        print(
+            f"chunks={chunks}:  degraded p99 {res.latency_degraded['p99']:6.2f} s"
+            f"   degraded/healthy ratio {ratio:5.3f}"
+            f"   pipeline saved {res.pipeline_saved_s:7.2f} s"
+        )
+        got = [o.digest for o in res.outcomes]
+        assert digests is None or got == digests, "chunking changed bytes!"
+        digests = got
+
+    print("\n== act 3: a repair storm, with and without the fast path ==")
+    storm = (RepairRequest(scheme="hmbr", batched=True, priority="background"),)
+    contended = serve(kill=2, repair=storm, chunks=4, fast_path=False)
+    rescued = serve(kill=2, repair=storm, chunks=4, fast_path=True)
+    assert [o.digest for o in rescued.outcomes] == digests, "fast path changed bytes!"
+    print(
+        f"fast path off:  p99 {contended.latency['p99']:6.2f} s   "
+        f"{contended.degraded_reads} degraded, {contended.fast_path_reads} rescued"
+    )
+    print(
+        f"fast path on :  p99 {rescued.latency['p99']:6.2f} s   "
+        f"{rescued.degraded_reads} degraded, {rescued.fast_path_reads} rescued "
+        f"(read rebuilt blocks straight from the spares)"
+    )
+    print("\nevery payload digest identical across all regimes — the knobs "
+          "move time, never bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,12 +8,13 @@ simulation in which jobs share bandwidth by priority weight.  See
 
 from repro.sched.admission import AdmissionController, AdmissionPolicy
 from repro.sched.job import PRIORITY_WEIGHTS, RepairJob, weight_for
-from repro.sched.scheduler import RepairScheduler, SchedulerReport
+from repro.sched.scheduler import RepairEta, RepairScheduler, SchedulerReport
 
 __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "PRIORITY_WEIGHTS",
+    "RepairEta",
     "RepairJob",
     "RepairScheduler",
     "SchedulerReport",

@@ -41,6 +41,7 @@ from repro.sched.job import (
     ADMITTED,
     DONE,
     FAILED,
+    PRIORITY_ORDER,
     QUEUED,
     RUNNING,
     RepairJob,
@@ -88,6 +89,21 @@ class SchedulerReport:
     def failed(self) -> list[RepairJob]:
         """Jobs that failed (unrecoverable stripes, retry exhaustion)."""
         return [j for j in self.jobs if j.state == FAILED]
+
+
+@dataclass(frozen=True)
+class RepairEta:
+    """Planning-only estimate of queued repairs' landings.
+
+    Produced by :meth:`RepairScheduler.estimate_finish_s`; consumed by the
+    serving plane's partially-repaired-stripe fast path (see
+    ``docs/PIPELINING_READS.md``).
+    """
+
+    #: stripe id -> estimated simulated landing instant of its repair.
+    finish_s: dict
+    #: dead node -> the spare its lost blocks are planned to rebuild onto.
+    replacement_of: dict
 
 
 class RepairScheduler:
@@ -238,6 +254,102 @@ class RepairScheduler:
                     m.histogram("sched.job_makespan_s").observe(job.makespan_s)
                 m.histogram("sched.job_wait_waves").observe(job.queue_wait_waves)
         return report
+
+    def estimate_finish_s(self, requests) -> RepairEta:
+        """Estimate when each stripe's queued repair lands — planning only.
+
+        Mirrors one admission wave over ``requests`` (a sequence of
+        :class:`~repro.system.request.RepairRequest`): priority-rank
+        order, first-come stripe ownership between wave-mates, and the
+        coordinator's own spare-assignment / planning helpers, followed by
+        a repair-only fluid simulation of the planned flows at their
+        priority weights.  Nothing is mutated — no job is queued, no byte
+        moves, and the stateful LFS/LRS center scheduler is snapshotted
+        and restored, so a subsequent real run makes identical picks.
+
+        The estimate is deliberately **optimistic**: it ignores admission
+        caps (everything lands in wave one), fault schedules, and
+        contention from foreground traffic, so real landings can only be
+        later.  The serving plane uses it as the fast-path cutover clock,
+        which is safe because payload bytes never depend on it.  Requests
+        that cannot be planned (unrecoverable stripes, not enough free
+        spares) are skipped: their stripes simply get no estimate.
+        """
+        cs = self.coord.center_scheduler
+        saved = (dict(cs.counts), dict(cs.last_selected), cs._clock)
+        try:
+            return self._estimate(requests)
+        finally:
+            cs.counts, cs.last_selected, cs._clock = saved
+
+    def _estimate(self, requests) -> RepairEta:
+        """The :meth:`estimate_finish_s` body (state save/restore aside)."""
+        from repro.faults.errors import RepairAborted, StripeUnrecoverable
+
+        coord = self.coord
+        affected_all = coord.layout.stripes_with_failures(
+            coord.cluster.dead_ids()
+        )
+        order = sorted(
+            enumerate(requests),
+            key=lambda e: (PRIORITY_ORDER[e[1].priority], e[0]),
+        )
+        wave_replacements: dict[int, int] = {}
+        reserved: set[int] = set()
+        claimed: set[int] = set()
+        all_tasks: list = []
+        index: list[tuple[int, str]] = []
+        for j, req in order:
+            affected = {
+                sid: blocks
+                for sid, blocks in affected_all.items()
+                if (req.stripes is None or sid in req.stripes)
+                and sid not in claimed
+            }
+            if not affected:
+                continue
+            dead_wb = coord._dead_with_blocks(affected)
+            need = [d for d in dead_wb if d not in wave_replacements]
+            free = [s for s in coord._free_spares() if s not in reserved]
+            if len(need) > len(free):
+                continue
+            fresh = coord._assign_spares(need, free)
+            replacement_of = {
+                d: wave_replacements.get(d, fresh.get(d)) for d in dead_wb
+            }
+            try:
+                work = coord._build_work(affected, replacement_of)
+                common_p = (
+                    coord._common_hmbr_split(work)
+                    if req.scheme == "hmbr" else None
+                )
+                planned = coord._plan_work(work, req.scheme, common_p)
+            except (RepairAborted, StripeUnrecoverable):
+                continue
+            wave_replacements.update(fresh)
+            reserved.update(fresh.values())
+            claimed.update(affected)
+            weight = weight_for(req.priority, req.weight)
+            arrival_id = None
+            if req.arrival_s > 0:
+                arrival_id = f"est{j}:arrival"
+                all_tasks.append(DelayTask(arrival_id, req.arrival_s, tag="sched"))
+            for i, (sid, plan, _ctx) in enumerate(planned):
+                p = reweighted(plan, weight) if weight != 1.0 else plan
+                p = rename_plan(p, f"est{j}:p{i}:")
+                index.append((sid, f"est{j}:p{i}"))
+                for t in p.tasks:
+                    if arrival_id is not None and not t.deps:
+                        t = dataclasses.replace(t, deps=(arrival_id,))
+                    all_tasks.append(t)
+        if not all_tasks:
+            return RepairEta(finish_s={}, replacement_of=dict(wave_replacements))
+        sim = FluidSimulator(coord.cluster).run(all_tasks)
+        finish: dict[int, float] = {}
+        for sid, prefix in index:
+            t = sim.finish_of(prefix)
+            finish[sid] = max(finish.get(sid, 0.0), t)
+        return RepairEta(finish_s=finish, replacement_of=dict(wave_replacements))
 
     def _fault_runtime(self, faults):
         """Build (FaultRuntime, FaultInjector) from ``faults`` (or Nones)."""

@@ -236,6 +236,8 @@ class Coordinator:
             request.spec,
             foreground_weight=request.foreground_weight,
             decode_mbps=request.decode_mbps,
+            chunks=request.chunks,
+            fast_path=request.fast_path,
         )
         return plane.run(repair=request.repair)
 

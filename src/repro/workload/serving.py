@@ -26,6 +26,24 @@ Coordinator`, in the same two-plane style every other layer uses:
   delay (``blocks x block_size_mb / decode_mbps``), never wall clock, so
   every latency percentile is deterministic.
 
+Two latency optimizations ride on top (both default-compatible with the
+barrier model; see ``docs/PIPELINING_READS.md``):
+
+* **chunked decode pipelining** (``chunks > 1``) — each degraded read is
+  split into word-aligned column slices through
+  :mod:`repro.workload.pipeline`; per-chunk survivor sub-flows stream and
+  the per-chunk decode delays chain on the gateway's decode lane, so
+  decode overlaps the remaining fetches instead of waiting for the last
+  block.  Bit-exact with the barrier path for every chunk count.
+* **the partially-repaired-stripe fast path** (``fast_path=True``) — when
+  a repair storm is queued, :meth:`RepairScheduler.estimate_finish_s
+  <repro.sched.scheduler.RepairScheduler.estimate_finish_s>` provides a
+  planning-only per-stripe landing clock; ops arriving after a stripe's
+  estimated landing short-circuit to a healthy read against the planned
+  spare (the repaired block is already there in the modeled timeline),
+  skipping the degraded surcharge entirely.
+
+
 Per-op read latencies summarize through
 :func:`repro.obs.metrics.latency_summary` into p50/p99 tables for the
 three regimes the ISSUE names (healthy / degraded / repair storm); with an
@@ -48,6 +66,12 @@ from repro.repair.batch import BatchRepairEngine
 from repro.simnet.flows import DelayTask, Flow
 from repro.system.request import RepairRequest
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec, object_payload
+from repro.workload.pipeline import (
+    chunk_slices,
+    chunked_read_tasks,
+    decode_chunked,
+    read_pipeline_report,
+)
 
 
 @dataclass(frozen=True)
@@ -61,13 +85,18 @@ class ServeRequest:
     repair>`'s multi-request rules).  ``foreground_weight`` is the fair-
     share weight of every client flow (the scheduler's foreground class
     default is 4.0); ``decode_mbps`` the modeled gateway decode throughput
-    charged per degraded block.
+    charged per degraded block.  ``chunks`` splits every degraded read
+    into that many pipelined sub-block slices (1 = the barrier model);
+    ``fast_path`` lets ops arriving after a queued repair's estimated
+    landing read the rebuilt block from its spare instead of degrading.
     """
 
     spec: WorkloadSpec
     repair: tuple = ()
     foreground_weight: float = 4.0
     decode_mbps: float = 1024.0
+    chunks: int = 1
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "repair", tuple(self.repair))
@@ -75,6 +104,9 @@ class ServeRequest:
             raise ValueError("foreground_weight must be positive")
         if self.decode_mbps <= 0:
             raise ValueError("decode_mbps must be positive")
+        if int(self.chunks) != self.chunks or self.chunks < 1:
+            raise ValueError(f"chunks must be a positive integer, got {self.chunks}")
+        object.__setattr__(self, "chunks", int(self.chunks))
         for r in self.repair:
             if not isinstance(r, RepairRequest):
                 raise TypeError(
@@ -92,6 +124,9 @@ class OpOutcome:
     (chaos tests verify bytes without keeping payloads around); failed
     reads carry the :class:`~repro.faults.errors.StripeUnrecoverable`
     message in ``error`` and are excluded from the latency percentiles.
+    ``fast_stripes`` counts stripes this op served through the
+    partially-repaired fast path (such stripes are *not* degraded: their
+    timing is a healthy fetch against the planned spare).
     """
 
     op_id: int
@@ -106,6 +141,7 @@ class OpOutcome:
     finish_s: float
     latency_s: float
     error: str = ""
+    fast_stripes: int = 0
 
 
 @dataclass
@@ -135,6 +171,14 @@ class ServeResult:
     #: the merged wave's :class:`~repro.sched.scheduler.SchedulerReport`.
     repair: object = None
     plan_cache_stats: dict = field(default_factory=dict)
+    #: ops that served at least one stripe through the partially-repaired
+    #: fast path (healthy-style reads against the planned spare).
+    fast_path_reads: int = 0
+    #: simulated seconds the chunked decode pipeline recovered versus the
+    #: barrier model, summed over every degraded stripe read.
+    pipeline_saved_s: float = 0.0
+    #: the run's degraded-read chunk count (1 = barrier model).
+    chunks: int = 1
 
     def summary(self) -> dict:
         """Golden-friendly scalar view (deterministic, wall-clock-free)."""
@@ -142,6 +186,7 @@ class ServeResult:
             "ops": len(self.outcomes),
             "reads": self.reads,
             "degraded_reads": self.degraded_reads,
+            "fast_path_reads": self.fast_path_reads,
             "failed_reads": self.failed_reads,
             "writes": self.writes,
             "failed_writes": self.failed_writes,
@@ -150,6 +195,8 @@ class ServeResult:
             "latency_degraded": self.latency_degraded,
             "foreground_bytes": self.foreground_bytes,
             "makespan_s": self.makespan_s,
+            "chunks": self.chunks,
+            "pipeline_saved_s": self.pipeline_saved_s,
             "repair_jobs": len(self.repair.jobs) if self.repair is not None else 0,
             "repair_makespan_s": (
                 self.repair.makespan_s if self.repair is not None else 0.0
@@ -173,16 +220,26 @@ class ServingPlane:
         *,
         foreground_weight: float = 4.0,
         decode_mbps: float = 1024.0,
+        chunks: int = 1,
+        fast_path: bool = True,
     ):
         if foreground_weight <= 0:
             raise ValueError("foreground_weight must be positive")
         if decode_mbps <= 0:
             raise ValueError("decode_mbps must be positive")
+        if int(chunks) != chunks or chunks < 1:
+            raise ValueError(f"chunks must be a positive integer, got {chunks}")
         self.coord = coord
         self.spec = spec
         self.foreground_weight = foreground_weight
         self.decode_mbps = decode_mbps
+        self.chunks = int(chunks)
+        self.fast_path = fast_path
         self.gen = WorkloadGenerator(spec)
+        #: stripe id -> estimated repair landing (set per run; see run()).
+        self._eta: dict[int, float] = {}
+        #: dead node -> planned replacement spare, from the same estimate.
+        self._repl: dict[int, int] = {}
 
     # -------------------------------------------------------------- #
     # provisioning
@@ -221,7 +278,7 @@ class ServingPlane:
         engine = BatchRepairEngine(
             self.coord.code, cache=self.coord.plan_cache, obs=self.coord.obs
         )
-        payload, _, _ = self._read_plan(name, gw, engine, None, "")
+        payload, _ = self._read_plan(name, gw, engine, None, "")
         return payload
 
     def _gateways(self) -> list[int]:
@@ -230,21 +287,26 @@ class ServingPlane:
             raise RuntimeError("no alive data nodes to serve from")
         return gws
 
-    def _read_plan(self, name, gateway, engine, tasks, task_prefix):
-        """Fetch + decode one object; returns (payload, degraded_stripes, metered).
+    def _read_plan(self, name, gateway, engine, tasks, task_prefix, arrival_s=None):
+        """Fetch + decode one object; returns ``(payload, stats)``.
 
         When ``tasks`` is a list, appends the op's timing tasks to it
         (``task_prefix`` must then be the op's unique ``fg:<id>:`` prefix,
-        with the arrival task ``<prefix>arr`` already present).
+        with the arrival task ``<prefix>arr`` already present).  ``stats``
+        carries the ``degraded`` / ``fast`` stripe counts, the ``metered``
+        foreground bytes, and one :class:`~repro.workload.pipeline.
+        StripeChunkPlan` per degraded stripe for post-sim accounting.
+        ``arrival_s`` (the op's arrival instant) arms the fast path; data-
+        plane-only callers like :meth:`read_object` leave it ``None``.
         """
         coord = self.coord
         code = coord.code
         k = code.k
         stripe_ids, length = coord.files[name]
         stripes = {s.stripe_id: s for s in coord.layout}
-        chunks = []
-        degraded_stripes = 0
-        metered = 0
+        obs = coord.obs
+        parts = []
+        stats = {"degraded": 0, "fast": 0, "metered": 0, "chunk_plans": []}
         for sid in stripe_ids:
             stripe = stripes[sid]
             available: dict[int, int] = {}
@@ -255,48 +317,119 @@ class ServingPlane:
             missing = [b for b in range(k) if b not in available]
             if missing and len(available) < k:
                 raise StripeUnrecoverable(sid, len(available), k)
+            if missing and self._fast_path_ready(sid, stripe, missing, arrival_s):
+                parts.append(
+                    self._read_fast(
+                        sid, stripe, available, missing, gateway, engine,
+                        tasks, task_prefix, stats,
+                    )
+                )
+                continue
             chosen = sorted(available)[:k] if missing else list(range(k))
             bufs: dict[int, np.ndarray] = {}
-            flow_ids: list[str] = []
+            fetches: list[tuple[int, int]] = []
             for b in chosen:
                 host = available[b]
                 buf = coord.agents[host].read_block(block_name(sid, b))
                 if host != gateway:
                     coord.bus.check(host, gateway, buf.nbytes)
                     coord.bus.record(host, gateway, buf.nbytes)
-                    metered += buf.nbytes
-                    if tasks is not None:
-                        fid = f"{task_prefix}s{sid}:b{b}"
-                        tasks.append(
-                            Flow(
-                                fid, host, gateway, coord.block_size_mb,
-                                deps=(f"{task_prefix}arr",), tag="fg",
-                                weight=self.foreground_weight,
-                            )
-                        )
-                        flow_ids.append(fid)
+                    stats["metered"] += buf.nbytes
+                    fetches.append((b, host))
                 bufs[b] = buf
             if missing:
-                degraded_stripes += 1
+                stats["degraded"] += 1
                 stacked = np.stack([bufs[b] for b in chosen])[None, ...]
-                decoded = engine.decode_batch(tuple(chosen), tuple(missing), stacked)
+                decoded = decode_chunked(
+                    engine, tuple(chosen), tuple(missing), stacked, self.chunks,
+                    tracer=obs.tracer if obs is not None else None,
+                    label=f"{task_prefix}s{sid}:",
+                )
                 for j, b in enumerate(missing):
                     bufs[b] = decoded[0, j]
                 if tasks is not None:
-                    # modeled decode cost at the gateway, gated on the
-                    # stripe's fetches — deterministic, never wall clock.
+                    # modeled per-chunk fetch sub-flows + decode delays at
+                    # the gateway — deterministic, never wall clock.
+                    plan = chunked_read_tasks(
+                        prefix=task_prefix, sid=sid, fetches=fetches,
+                        n_missing=len(missing),
+                        slices=chunk_slices(int(stacked.shape[2]), self.chunks),
+                        block_size_mb=coord.block_size_mb,
+                        decode_mbps=self.decode_mbps,
+                        weight=self.foreground_weight, gateway=gateway,
+                    )
+                    tasks.extend(plan.tasks)
+                    stats["chunk_plans"].append(plan)
+            elif tasks is not None:
+                for b, host in fetches:
                     tasks.append(
-                        DelayTask(
-                            f"{task_prefix}dec{sid}",
-                            len(missing) * coord.block_size_mb / self.decode_mbps,
-                            node=gateway,
-                            deps=tuple(flow_ids) or (f"{task_prefix}arr",),
-                            tag="fg",
+                        Flow(
+                            f"{task_prefix}s{sid}:b{b}", host, gateway,
+                            coord.block_size_mb, deps=(f"{task_prefix}arr",),
+                            tag="fg", weight=self.foreground_weight,
                         )
                     )
-            chunks.append(np.concatenate([bufs[b] for b in range(k)]))
-        payload = np.concatenate(chunks)[:length].tobytes()
-        return payload, degraded_stripes, metered
+            parts.append(np.concatenate([bufs[b] for b in range(k)]))
+        payload = np.concatenate(parts)[:length].tobytes()
+        return payload, stats
+
+    def _fast_path_ready(self, sid, stripe, missing, arrival_s) -> bool:
+        """True when the op arrives after the stripe's estimated repair."""
+        eta = self._eta.get(sid)
+        return (
+            eta is not None
+            and arrival_s is not None
+            and arrival_s >= eta
+            and all(stripe.placement[b] in self._repl for b in missing)
+        )
+
+    def _read_fast(
+        self, sid, stripe, available, missing, gateway, engine, tasks,
+        task_prefix, stats,
+    ):
+        """Serve a partially-repaired stripe as a healthy read (fast path).
+
+        The scheduler's planning-only estimate says this stripe's repair
+        landed before the op arrived, so the timing plane models a healthy
+        fetch against the repaired layout: one whole-block flow per data
+        block, with rebuilt blocks shipping from their planned spare — no
+        degraded surcharge.  The payload still decodes from the current
+        survivors (repairs are bit-exact, so the bytes are identical
+        either way), and exactly the modeled fetches are metered on the
+        bus.  Returns the stripe's concatenated data blocks.
+        """
+        coord = self.coord
+        k = coord.code.k
+        chosen = sorted(available)[:k]
+        bufs = {
+            b: coord.agents[available[b]].read_block(block_name(sid, b))
+            for b in chosen
+        }
+        stacked = np.stack([bufs[b] for b in chosen])[None, ...]
+        decoded = engine.decode_batch(tuple(chosen), tuple(missing), stacked)
+        for j, b in enumerate(missing):
+            bufs[b] = decoded[0, j]
+        stats["fast"] += 1
+        bb = coord.block_bytes
+        for b in range(k):
+            host = (
+                available[b] if b in available
+                else self._repl[stripe.placement[b]]
+            )
+            if host == gateway:
+                continue
+            coord.bus.check(host, gateway, bb)
+            coord.bus.record(host, gateway, bb)
+            stats["metered"] += bb
+            if tasks is not None:
+                tasks.append(
+                    Flow(
+                        f"{task_prefix}s{sid}:b{b}", host, gateway,
+                        coord.block_size_mb, deps=(f"{task_prefix}arr",),
+                        tag="fg", weight=self.foreground_weight,
+                    )
+                )
+        return np.concatenate([bufs[b] for b in range(k)])
 
     def _write_plan(self, op, tasks, task_prefix):
         """Apply one write op; returns (ok, metered_bytes).
@@ -353,6 +486,14 @@ class ServingPlane:
         coord, spec = self.coord, self.spec
         self.provision()
         obs = coord.obs
+        self._eta, self._repl = {}, {}
+        reqs = tuple(repair)
+        if reqs and self.fast_path and all(r.faults is None for r in reqs):
+            # Planning-only landing clock for the fast path: which stripes
+            # the queued storm will have rebuilt by when (state-free; the
+            # real run's center picks are unaffected).
+            est = coord.sched.estimate_finish_s(reqs)
+            self._eta, self._repl = est.finish_s, est.replacement_of
         ops = self.gen.ops()
         engine = BatchRepairEngine(coord.code, cache=coord.plan_cache, obs=obs)
         gateways = self._gateways()
@@ -373,6 +514,7 @@ class ServingPlane:
                 fg_tasks.append(DelayTask(f"{prefix}arr", op.t_s, tag="fg"))
                 rec = {
                     "op": op, "ok": True, "degraded_stripes": 0,
+                    "fast_stripes": 0, "chunk_plans": [],
                     "nbytes": 0, "digest": "", "error": "",
                 }
                 span = None
@@ -384,17 +526,20 @@ class ServingPlane:
                 try:
                     if op.kind == "read":
                         try:
-                            payload, deg, metered = self._read_plan(
-                                op.obj, gw, engine, fg_tasks, prefix
+                            payload, stats = self._read_plan(
+                                op.obj, gw, engine, fg_tasks, prefix,
+                                arrival_s=op.t_s,
                             )
                         except StripeUnrecoverable as err:
                             rec["ok"] = False
                             rec["error"] = f"{type(err).__name__}: {err}"
                         else:
-                            rec["degraded_stripes"] = deg
+                            rec["degraded_stripes"] = stats["degraded"]
+                            rec["fast_stripes"] = stats["fast"]
+                            rec["chunk_plans"] = stats["chunk_plans"]
                             rec["nbytes"] = len(payload)
                             rec["digest"] = hashlib.sha256(payload).hexdigest()
-                            fg_bytes += metered
+                            fg_bytes += stats["metered"]
                     else:
                         ok, metered = self._write_plan(op, fg_tasks, prefix)
                         rec["ok"] = ok
@@ -463,8 +608,27 @@ class ServingPlane:
                     nbytes=rec["nbytes"], digest=rec["digest"],
                     finish_s=finish, latency_s=max(finish - op.t_s, 0.0),
                     error=rec["error"],
+                    fast_stripes=rec.get("fast_stripes", 0),
                 )
             )
+        # Replay every degraded stripe's per-chunk (ready, cost) pairs
+        # through the single-lane pipeline model: saved_s is how much
+        # earlier the chained decode finished than the barrier would have.
+        pipeline_saved = 0.0
+        chunk_rows = []
+        for rec in records:
+            op = rec["op"]
+            for plan in rec.get("chunk_plans", ()):
+                ready = [
+                    max(
+                        max((fin[f] for f in ids if f in fin), default=op.t_s),
+                        op.t_s,
+                    )
+                    for ids in plan.flow_ids
+                ]
+                rep = read_pipeline_report(ready, plan.cost_s)
+                pipeline_saved += rep.saved_s
+                chunk_rows.append((op, plan))
         reads = [o for o in outcomes if o.kind == "read"]
         done = [o for o in reads if o.ok]
         degraded = [o for o in done if o.degraded]
@@ -486,6 +650,9 @@ class ServingPlane:
             makespan_s=report.makespan_s,
             repair=report,
             plan_cache_stats=coord.plan_cache.stats(),
+            fast_path_reads=sum(1 for o in outcomes if o.fast_stripes > 0),
+            pipeline_saved_s=pipeline_saved,
+            chunks=self.chunks,
         )
         if obs is not None:
             for o in outcomes:
@@ -494,10 +661,26 @@ class ServingPlane:
                     t0=o.t_s, t1=max(o.finish_s, o.t_s),
                     op=o.op_id, kind=o.kind, ok=o.ok, degraded=o.degraded,
                 )
+            for op, plan in chunk_rows:
+                # sim-domain twin of the ops-domain workload.chunk spans:
+                # each chunk's decode occupancy on the gateway's lane.
+                for i, dec_id in enumerate(plan.dec_ids):
+                    t1 = fin.get(dec_id)
+                    if t1 is None:
+                        continue
+                    obs.tracer.add(
+                        f"workload.chunk:{op.op_id}:{plan.sid}:{i}",
+                        actor="serving", cat="workload.sim",
+                        t0=max(t1 - plan.cost_s[i], op.t_s), t1=t1,
+                        op=op.op_id, stripe=plan.sid, chunk=i,
+                    )
             m = obs.metrics
             m.counter("workload.ops").inc(len(outcomes))
             m.counter("workload.reads").inc(len(done))
             m.counter("workload.degraded_reads").inc(len(degraded))
+            m.counter("workload.fast_path_reads").inc(result.fast_path_reads)
+            m.counter("workload.pipeline_saved_s").inc(pipeline_saved)
+            m.gauge("workload.chunks").set(self.chunks)
             m.counter("workload.unrecoverable").inc(result.failed_reads)
             m.counter("workload.writes").inc(result.writes)
             m.counter("workload.failed_writes").inc(result.failed_writes)

@@ -14,6 +14,10 @@ Invariants, per randomized schedule seed:
 Kills are drawn without regard for the erasure budget, so some rounds
 push stripes beyond ``m`` losses on purpose: those reads must *fail
 loudly*, not fabricate data.
+
+Each round serves through a freshly-built plane with a random degraded-
+read chunk count (the ISSUE 7 pipelined path) and the fast path armed,
+so the byte invariants cover every chunk geometry under storm + kills.
 """
 
 import hashlib
@@ -78,7 +82,12 @@ def test_serving_survives_fault_storm(chaos_system, chaos_seed):
         repair = ()
         if len(coord._free_spares()) >= len(coord.cluster.dead_ids()):
             repair = (RepairRequest(scheme="hmbr", batched=True, priority="background"),)
+        # a random chunk geometry per round: the pipelined degraded path
+        # must produce identical bytes for every chunk count
+        chunks = int(rng.integers(1, 9))
+        plane = ServingPlane(coord, spec, chunks=chunks)
         res = plane.run(repair=repair)
+        assert res.chunks == chunks
         assert len(res.outcomes) == n_ops, "an op was silently dropped"
         assert math.isfinite(res.makespan_s) and res.makespan_s >= 0.0
         _apply_writes_and_check(res, gen, expected)

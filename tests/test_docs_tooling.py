@@ -13,7 +13,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 # must match the ratchet floor in .github/workflows/ci.yml (ratchet-only:
 # raise both together when coverage improves, never lower them)
-COVERAGE_FLOOR = 71.7
+COVERAGE_FLOOR = 75.5
 
 
 def _run(*argv):
@@ -61,6 +61,49 @@ def test_coverage_gate_fails_below_floor(tmp_path):
     assert res.returncode == 1
     assert "FAIL" in res.stdout
     assert "public" in res.stdout
+
+
+def _serving_doc(sweep_metrics):
+    """A minimal schema-valid serving artifact with one chunk-sweep point."""
+    return {
+        "schema_version": 1,
+        "suite": "online-serving-plane",
+        "env": {"python": "3"},
+        "points": [
+            {
+                "bench": "serving.chunk_sweep",
+                "params": {"k": 4},
+                "metrics": {"speedup_x": 1.2, **sweep_metrics},
+            }
+        ],
+    }
+
+
+def test_bench_schema_requires_monotone_chunk_sweep(tmp_path):
+    """The serving artifact must carry a falling-toward-1 p99 ratio sweep."""
+    import json
+
+    good = tmp_path / "good.json"
+    good.write_text(
+        json.dumps(_serving_doc({"p99_ratio_c1": 1.2, "p99_ratio_c4": 1.05}))
+    )
+    res = _run("tools/check_bench_schema.py", str(good))
+    assert res.returncode == 0, res.stdout + res.stderr
+
+    cases = {
+        # more chunks must strictly help
+        "rising.json": {"p99_ratio_c1": 1.05, "p99_ratio_c4": 1.2},
+        # degraded reads can never beat healthy reads
+        "below_one.json": {"p99_ratio_c1": 1.2, "p99_ratio_c4": 0.9},
+        # a single ratio is not a sweep
+        "lonely.json": {"p99_ratio_c1": 1.2},
+    }
+    for name, metrics in cases.items():
+        bad = tmp_path / name
+        bad.write_text(json.dumps(_serving_doc(metrics)))
+        res = _run("tools/check_bench_schema.py", str(bad))
+        assert res.returncode == 1, f"{name} must fail the schema gate"
+        assert "serving.chunk_sweep" in res.stderr
 
 
 def test_coverage_gate_ignores_private_and_init(tmp_path):

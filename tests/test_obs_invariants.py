@@ -359,13 +359,27 @@ def test_serving_trace_is_well_formed_in_both_domains():
     t.validate()
     roots = [s for s in t.find(cat="workload", domain=OPS_DOMAIN) if s.name == "workload.run"]
     assert len(roots) == 1
-    op_spans = [s for s in t.find(cat="workload", domain=OPS_DOMAIN) if s.name != "workload.run"]
+    all_ops = t.find(cat="workload", domain=OPS_DOMAIN)
+    op_spans = [s for s in all_ops if s.name.startswith("workload.op:")]
     assert len(op_spans) == len(res.outcomes)
+    # every degraded stripe decode emits its ops-domain chunk spans
+    chunk_spans = [s for s in all_ops if s.name.startswith("workload.chunk:")]
+    assert len(chunk_spans) >= res.degraded_reads
     # sim-domain timeline: one span per op, spanning arrival -> finish
     sim = t.find(cat="workload.sim", domain=SIM_DOMAIN)
-    assert len(sim) == len(res.outcomes)
-    by_op = {s.args["op"]: s for s in sim}
+    sim_ops = [s for s in sim if s.name.startswith("workload.op:")]
+    assert len(sim_ops) == len(res.outcomes)
+    by_op = {s.args["op"]: s for s in sim_ops}
     for o in res.outcomes:
         span = by_op[o.op_id]
         assert span.t0 == o.t_s
         assert span.t1 == max(o.finish_s, o.t_s)
+    # sim-domain chunk spans mirror the modeled decode occupancy: one per
+    # degraded stripe read per chunk (chunks=1 here), inside the op window
+    sim_chunks = [s for s in sim if s.name.startswith("workload.chunk:")]
+    assert len(sim_chunks) == sum(
+        o.degraded_stripes for o in res.outcomes if o.ok
+    )
+    for s in sim_chunks:
+        parent = by_op[s.args["op"]]
+        assert parent.t0 <= s.t0 <= s.t1 <= parent.t1 + 1e-9

@@ -16,11 +16,17 @@ uploaded:
 * each point: ``bench`` (non-empty str, unique), ``params`` (dict of
   int/float/str/bool), ``metrics`` (non-empty dict of finite numbers);
 * at least one point carries a positive ``speedup_x`` metric — the whole
-  reason the trajectory exists.
+  reason the trajectory exists;
+* suite ``online-serving-plane`` additionally carries a
+  ``serving.chunk_sweep`` point whose ``p99_ratio_c{chunks}`` metrics
+  (at least two) fall strictly as ``chunks`` grows and never dip below
+  1 — pinning that the chunked degraded-read pipeline closes the
+  degraded/healthy p99 gap monotonically without beating healthy reads.
 """
 
 import json
 import math
+import re
 import sys
 from pathlib import Path
 
@@ -86,6 +92,47 @@ def check_doc(doc, errors):
     ]
     if not any(s > 0 for s in speedups):
         errors.append("no point carries a positive speedup_x metric")
+    if doc.get("suite") == "online-serving-plane":
+        check_chunk_sweep(points, errors)
+
+
+def check_chunk_sweep(points, errors):
+    """The serving suite must pin a monotone degraded-read chunk sweep."""
+    sweep = next(
+        (
+            p
+            for p in points
+            if isinstance(p, dict) and p.get("bench") == "serving.chunk_sweep"
+        ),
+        None,
+    )
+    if sweep is None:
+        errors.append("serving suite lacks a 'serving.chunk_sweep' point")
+        return
+    metrics = sweep.get("metrics")
+    if not isinstance(metrics, dict):
+        return  # already reported by the generic point checks
+    ratios = {}
+    for key, value in metrics.items():
+        match = re.fullmatch(r"p99_ratio_c(\d+)", key)
+        if match and isinstance(value, (int, float)) and not isinstance(value, bool):
+            ratios[int(match.group(1))] = value
+    if len(ratios) < 2:
+        errors.append("serving.chunk_sweep needs >= 2 p99_ratio_c<chunks> metrics")
+        return
+    grid = sorted(ratios)
+    for a, b in zip(grid, grid[1:]):
+        if not ratios[b] < ratios[a]:
+            errors.append(
+                f"serving.chunk_sweep p99_ratio_c{b} ({ratios[b]}) must be "
+                f"< p99_ratio_c{a} ({ratios[a]}): more chunks must help"
+            )
+    low = min(ratios.values())
+    if low < 1.0 - 1e-3:
+        errors.append(
+            f"serving.chunk_sweep min p99 ratio {low} < 1: degraded reads "
+            "cannot beat healthy reads"
+        )
 
 
 def check_file(path: Path) -> list[str]:

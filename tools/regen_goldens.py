@@ -92,9 +92,11 @@ def gen_exp6() -> str:
 def gen_serving() -> str:
     """The canonical three-regime serving scenario (ISSUE 6).
 
-    One seeded workload served four ways — healthy, degraded (two dead
-    nodes), and under the same repair storm at weighted vs equal sharing —
-    each regime on a fresh identically-seeded system.  Pins the whole
+    One seeded workload served five ways — healthy, degraded (two dead
+    nodes), the same degraded scenario with the chunked read pipeline
+    (ISSUE 7, ``chunks=4`` at a slow decode so the overlap is visible),
+    and under the same repair storm at weighted vs equal sharing — each
+    regime on a fresh identically-seeded system.  Pins the whole
     :meth:`~repro.workload.serving.ServeResult.summary` (latency
     percentiles included: they are simulated time, never wall clock).
     """
@@ -110,7 +112,7 @@ def gen_serving() -> str:
         rate_ops_s=6.0, read_fraction=0.85, write_bytes=256, seed=2023,
     )
 
-    def build(kill=0, fg_weight=4.0):
+    def build(kill=0, fg_weight=4.0, chunks=1, decode_mbps=1024.0):
         coord = Coordinator(
             Cluster([Node(i, 100.0, 100.0) for i in range(12)]),
             RSCode(4, 2), block_bytes=4096, block_size_mb=32.0,
@@ -118,7 +120,10 @@ def gen_serving() -> str:
         )
         for j in range(4):
             coord.add_spare(Node(12 + j, 100.0, 100.0))
-        plane = ServingPlane(coord, spec, foreground_weight=fg_weight)
+        plane = ServingPlane(
+            coord, spec, foreground_weight=fg_weight,
+            chunks=chunks, decode_mbps=decode_mbps,
+        )
         plane.provision()
         if kill:
             sid0 = coord.files[spec.object_name(0)][0][0]
@@ -135,6 +140,7 @@ def gen_serving() -> str:
     regimes = {
         "healthy": build().run().summary(),
         "degraded": build(kill=2).run().summary(),
+        "pipelined": build(kill=2, chunks=4, decode_mbps=16.0).run().summary(),
         "storm_weighted": build(kill=2).run(repair=storm()).summary(),
         "storm_equal": build(kill=2, fg_weight=1.0).run(repair=storm(1.0)).summary(),
     }
