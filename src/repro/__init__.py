@@ -19,6 +19,8 @@ Cloud Storage Systems with Wide-Stripe Erasure Coding"* (Yu et al., IPDPS
 * :mod:`repro.obs` — opt-in spans, metrics, and repair-timeline export,
 * :mod:`repro.workload` — seeded client load generation and the online
   serving plane (degraded reads under live repair traffic),
+* :mod:`repro.reliability` — the macro-scale durability simulator (MTTDL,
+  P(loss) curves, nines) driven by the repair engines' own makespans,
 * :mod:`repro.analysis` / :mod:`repro.experiments` — every table and figure
   of the paper's evaluation.
 
@@ -68,6 +70,11 @@ from repro.faults import FaultInjector, FaultSchedule
 from repro.repair import BatchRepairEngine, PlanCache
 from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.workload import ServeRequest, ServeResult, ServingPlane, WorkloadSpec
+from repro.reliability import (
+    ReliabilityReport,
+    ReliabilitySimulator,
+    ReliabilitySpec,
+)
 from repro.experiments import build_scenario, plan_for, transfer_time
 
 __all__ = [
@@ -119,6 +126,9 @@ __all__ = [
     "ServeResult",
     "ServingPlane",
     "WorkloadSpec",
+    "ReliabilityReport",
+    "ReliabilitySimulator",
+    "ReliabilitySpec",
     "build_scenario",
     "plan_for",
     "transfer_time",

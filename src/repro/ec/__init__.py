@@ -14,7 +14,7 @@ from repro.ec.matrices import (
 )
 from repro.ec.rs import RSCode
 from repro.ec.lrc import LRCCode
-from repro.ec.stripe import Stripe, StripeLayout, block_name
+from repro.ec.stripe import Stripe, StripeLayout, StripeMeta, block_name
 from repro.ec.subblock import split_block, join_block, split_counts, word_slice
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "LRCCode",
     "Stripe",
     "StripeLayout",
+    "StripeMeta",
     "block_name",
     "vandermonde_matrix",
     "cauchy_parity_matrix",

@@ -63,6 +63,46 @@ class Stripe:
         return [i for i, nid in enumerate(self.placement) if nid not in dead]
 
 
+@dataclass(frozen=True, slots=True)
+class StripeMeta:
+    """Immutable, validation-free metadata twin of :class:`Stripe`.
+
+    The reliability simulator (:mod:`repro.reliability`) tracks millions of
+    stripes; constructing full :class:`Stripe` objects (mutable lists,
+    distinctness checks) per stripe is the dominant cost at that scale.  A
+    ``StripeMeta`` carries exactly the fields planning needs — id, code
+    shape, placement — as a frozen tuple-backed record, and converts to a
+    real :class:`Stripe` (validated) only at the point a small twin system
+    must be materialized.  ``from_stripe``/``to_stripe`` are exact inverses,
+    which the differential suite relies on.
+    """
+
+    stripe_id: int
+    k: int
+    m: int
+    placement: tuple[int, ...]
+
+    @classmethod
+    def from_stripe(cls, stripe: Stripe) -> "StripeMeta":
+        return cls(stripe.stripe_id, stripe.k, stripe.m, tuple(stripe.placement))
+
+    def to_stripe(self) -> Stripe:
+        """Materialize a validated, mutable :class:`Stripe`."""
+        return Stripe(self.stripe_id, self.k, self.m, list(self.placement))
+
+    @property
+    def width(self) -> int:
+        return self.k + self.m
+
+    def failed_blocks(self, dead_nodes) -> list[int]:
+        dead = set(dead_nodes)
+        return [i for i, nid in enumerate(self.placement) if nid in dead]
+
+    def surviving_blocks(self, dead_nodes) -> list[int]:
+        dead = set(dead_nodes)
+        return [i for i, nid in enumerate(self.placement) if nid not in dead]
+
+
 @dataclass
 class StripeLayout:
     """A collection of stripes plus reverse indexes (node -> blocks)."""

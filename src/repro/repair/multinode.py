@@ -52,6 +52,26 @@ class CenterScheduler:
     def load_of(self, node: int) -> int:
         return self.counts.get(node, 0)
 
+    def snapshot(self) -> tuple:
+        """Opaque copy of the LFS/LRS state, for planning-only callers.
+
+        Planning-only paths (:meth:`RepairScheduler.estimate_finish_s
+        <repro.sched.scheduler.RepairScheduler.estimate_finish_s>`,
+        :meth:`Coordinator.plan_repair
+        <repro.system.coordinator.Coordinator.plan_repair>` with
+        ``commit=False``) must make the same picks a later real repair will,
+        without advancing the scheduler — they snapshot first and
+        :meth:`restore` after.
+        """
+        return (dict(self.counts), dict(self.last_selected), self._clock)
+
+    def restore(self, snap: tuple) -> None:
+        """Undo every :meth:`pick` made since the matching :meth:`snapshot`."""
+        counts, last_selected, clock = snap
+        self.counts = dict(counts)
+        self.last_selected = dict(last_selected)
+        self._clock = clock
+
 
 @dataclass
 class MultiNodeRepairJob:

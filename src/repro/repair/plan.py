@@ -143,6 +143,41 @@ def reweighted(plan: RepairPlan, weight: float) -> RepairPlan:
     )
 
 
+def flow_signature(tasks) -> tuple:
+    """Canonical, hashable description of a task DAG.
+
+    One tuple per task — ``(task_id, kind, payload, hops, deps, weight,
+    tag)`` — sorted by task id, where ``payload`` is ``size_mb`` for flows
+    and ``duration_s`` for delay tasks.  Two task lists with equal
+    signatures present the identical flow topology to the fluid simulator,
+    so their makespans agree exactly; the reliability differential suite
+    compares metadata-only plans against byte-materializing ones through
+    this function.
+    """
+    rows = []
+    for t in tasks:
+        if hasattr(t, "hops"):
+            payload = float(t.size_mb)
+            hops = tuple(t.hops)
+            weight = float(getattr(t, "weight", 1.0))
+        else:  # DelayTask
+            payload = float(t.duration_s)
+            hops = ()
+            weight = 1.0
+        rows.append(
+            (
+                t.task_id,
+                type(t).__name__,
+                payload,
+                hops,
+                tuple(sorted(t.deps)),
+                weight,
+                getattr(t, "tag", ""),
+            )
+        )
+    return tuple(sorted(rows))
+
+
 def merge_plans(plans: list[RepairPlan], scheme: str) -> RepairPlan:
     """Concatenate independently-runnable plans (e.g. one per stripe)."""
     tasks: list[Task] = []

@@ -276,11 +276,11 @@ class RepairScheduler:
         spares) are skipped: their stripes simply get no estimate.
         """
         cs = self.coord.center_scheduler
-        saved = (dict(cs.counts), dict(cs.last_selected), cs._clock)
+        saved = cs.snapshot()
         try:
             return self._estimate(requests)
         finally:
-            cs.counts, cs.last_selected, cs._clock = saved
+            cs.restore(saved)
 
     def _estimate(self, requests) -> RepairEta:
         """The :meth:`estimate_finish_s` body (state save/restore aside)."""

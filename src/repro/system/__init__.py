@@ -14,7 +14,12 @@ from repro.system.bus import DataBus
 from repro.system.agent import Agent
 from repro.system.heartbeat import HeartbeatMonitor
 from repro.system.request import JobOutcome, RepairRequest, RepairResult
-from repro.system.coordinator import Coordinator, RepairReport, WriteReceipt
+from repro.system.coordinator import (
+    Coordinator,
+    RepairReport,
+    RepairTiming,
+    WriteReceipt,
+)
 
 __all__ = [
     "BlockStore",
@@ -26,5 +31,6 @@ __all__ = [
     "RepairReport",
     "RepairRequest",
     "RepairResult",
+    "RepairTiming",
     "WriteReceipt",
 ]

@@ -95,6 +95,39 @@ class RepairReport:
     pipeline: object | None = None
 
 
+@dataclass
+class RepairTiming:
+    """Planning/timing-only outcome of :meth:`Coordinator.plan_repair`.
+
+    The metadata fast path's answer: everything a caller needs to reason
+    about a repair round — per-stripe plans, the merged flow topology, and
+    the fluid makespan — without a single block byte having moved.  The
+    differential suite pins this against :class:`RepairReport` from a real
+    byte-materializing round: same plans, same flow graphs, and
+    ``makespan_s == simulated_transfer_s`` to 1e-9.
+    """
+
+    scheme: str
+    dead_nodes: list[int]
+    stripes: list[int]
+    makespan_s: float
+    per_stripe_s: dict[int, float]
+    bytes_on_wire_mb_model: float
+    blocks_recovered: int
+    replacement_of: dict[int, int]
+    #: (stripe id, plan) in planning order; tasks are un-renamed, exactly
+    #: as a real round would hand them to the merged fluid simulation.
+    plans: list[tuple[int, RepairPlan]] = field(default_factory=list)
+    #: True when the round's placement effects were applied to metadata.
+    committed: bool = False
+
+    def flow_signature(self) -> tuple:
+        """Canonical signature of the merged task DAG (all stripes)."""
+        from repro.repair.plan import flow_signature
+
+        return flow_signature([t for _, p in self.plans for t in p.tasks])
+
+
 class Coordinator:
     """Centralized coordinator over a cluster of agents."""
 
@@ -126,6 +159,12 @@ class Coordinator:
             self.monitor.register(i)
         self.bus = DataBus(rack_of={i: cluster[i].rack for i in cluster.node_ids()})
         self.spares: list[int] = []
+        #: spares consumed by *committed* metadata-only repairs
+        #: (:meth:`plan_repair` with ``commit=True``).  A byte-level repair
+        #: occupies its spare implicitly (the store is no longer empty); a
+        #: metadata-only repair stores nothing, so the reservation is
+        #: explicit.  Always empty on pure byte-plane systems.
+        self.reserved_spares: set[int] = set()
         self.center_scheduler = CenterScheduler()
         #: decode-plan LRU shared by every batched repair of this system, so
         #: repeated storms with recurring erasure patterns skip re-inversion.
@@ -185,6 +224,53 @@ class Coordinator:
             stripe_ids.append(sid)
         self.files[name] = (stripe_ids, buf.size)
         return WriteReceipt(name, buf.size, stripe_ids, padded)
+
+    def place_stripes(
+        self,
+        n_stripes: int,
+        *,
+        materialize: bool = False,
+        payload_seed: int = 2023,
+    ) -> list[int]:
+        """Provision ``n_stripes`` anonymous stripes (metadata, maybe bytes).
+
+        The metadata fast path's provisioning primitive: placement draws
+        come from :attr:`rng` **identically** whether or not bytes
+        materialize, so a metadata-only system and a byte-materializing
+        twin built with the same seed hold byte-for-byte identical layouts
+        — the substrate the reliability differential suite compares across.
+        With ``materialize=True`` each stripe's payload comes from a
+        separate ``payload_seed`` stream (so payload generation cannot
+        perturb placement), is erasure-coded, and lands on the agents
+        exactly as :meth:`write` would store it.  Returns the new stripe
+        ids; the stripes belong to no file.
+        """
+        if n_stripes < 0:
+            raise ValueError(f"n_stripes must be >= 0, got {n_stripes}")
+        k = self.code.k
+        candidates = self.data_nodes()
+        if len(candidates) < self.code.n:
+            raise ValueError(
+                f"{len(candidates)} data nodes cannot host width-{self.code.n} stripes"
+            )
+        payload_rng = np.random.default_rng(payload_seed) if materialize else None
+        stripe_ids = []
+        for _ in range(n_stripes):
+            sid = self._next_stripe_id
+            self._next_stripe_id += 1
+            idx = self.rng.choice(len(candidates), size=self.code.n, replace=False)
+            placement = [candidates[i] for i in idx]
+            stripe = Stripe(sid, k, self.code.m, placement)
+            self.layout.add(stripe)
+            if materialize:
+                blocks = payload_rng.integers(
+                    0, 256, size=(k, self.block_bytes), dtype=np.uint8
+                )
+                coded = self.code.encode_stripe(blocks)
+                for b, node in enumerate(placement):
+                    self.agents[node].store_block(block_name(sid, b), coded[b])
+            stripe_ids.append(sid)
+        return stripe_ids
 
     def read(self, name: str) -> bytes:
         """Read a file back, transparently decoding around dead nodes."""
@@ -550,6 +636,136 @@ class Coordinator:
                 m.gauge("parallel.pipeline_saved_s").set(pipeline.saved_s)
         return report
 
+    def plan_repair(
+        self,
+        scheme: str = "hmbr",
+        *,
+        stripes=None,
+        commit: bool = False,
+    ) -> RepairTiming:
+        """Plan and time a repair round without moving a byte.
+
+        The **stripe-metadata-only fast path**: runs the exact planning
+        pipeline of :meth:`repair` — spare assignment, LFS/LRS center
+        picks, the common HMBR split, per-stripe planners, plan validation
+        — and the exact merged fluid simulation, but skips the data plane
+        entirely (no ops dispatched, no payloads stored, no parity
+        verified).  On a system provisioned via
+        :meth:`place_stripes(..., materialize=False) <place_stripes>` this
+        answers "how long would this repair take, and where would the
+        blocks land" at metadata cost; the differential suite pins its
+        plans, flow graphs, and makespan against byte-materializing rounds
+        to 1e-9.
+
+        ``stripes`` restricts the round to those stripe ids (``None`` =
+        everything affected).  With ``commit=False`` (default) nothing is
+        mutated — the stateful center scheduler is snapshotted and
+        restored, so a later real run makes identical picks.  With
+        ``commit=True`` the round's *metadata* effects are applied: the
+        center scheduler advances, repaired blocks' placements move to
+        their planned nodes, and the consumed spares join
+        :attr:`reserved_spares` (a metadata-only repair stores nothing, so
+        the reservation must be explicit).  Raises like :meth:`repair` on
+        unknown schemes or insufficient spares.
+        """
+        if scheme != "auto" and scheme not in _PLANNERS:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; choose from {sorted(_PLANNERS)} or 'auto'"
+            )
+        dead = self.cluster.dead_ids()
+        affected = self.layout.stripes_with_failures(dead)
+        if stripes is not None:
+            wanted = set(stripes)
+            affected = {sid: b for sid, b in affected.items() if sid in wanted}
+        if not affected:
+            return RepairTiming(
+                scheme, dead, [], 0.0, {}, 0.0, 0, {}, [], committed=commit
+            )
+
+        obs = self.obs
+        root = None
+        if obs is not None:
+            root = obs.tracer.begin(
+                "plan_repair", actor="coordinator", cat="plan",
+                scheme=scheme, dead_nodes=list(dead), stripes=sorted(affected),
+                commit=commit,
+            )
+        snap = None if commit else self.center_scheduler.snapshot()
+        try:
+            dead_with_blocks = self._dead_with_blocks(affected)
+            free_spares = self._free_spares()
+            if len(dead_with_blocks) > len(free_spares):
+                raise RuntimeError(
+                    f"{len(dead_with_blocks)} dead nodes but only "
+                    f"{len(free_spares)} free spares"
+                )
+            replacement_of = self._assign_spares(dead_with_blocks, free_spares)
+            work = self._build_work(affected, replacement_of)
+            common_p = self._common_hmbr_split(work) if scheme == "hmbr" else None
+            plans = self._plan_work(work, scheme, common_p)
+            all_tasks = [t for _, p, _ in plans for t in p.tasks]
+            sim = FluidSimulator(self.cluster).run(all_tasks)
+            per_stripe = {
+                sid: max(sim.finish_times[t.task_id] for t in plan.tasks)
+                for sid, plan, _ in plans
+            }
+            if commit:
+                stripes_map = {s.stripe_id: s for s in self.layout}
+                for sid, plan, _ in plans:
+                    for fb, (node, _buf) in plan.outputs.items():
+                        stripes_map[sid].placement[fb] = node
+                self.reserved_spares.update(replacement_of.values())
+        finally:
+            if snap is not None:
+                self.center_scheduler.restore(snap)
+            if root is not None:
+                obs.tracer.unwind(root)
+        timing = RepairTiming(
+            scheme=scheme,
+            dead_nodes=dead,
+            stripes=sorted(affected),
+            makespan_s=sim.makespan,
+            per_stripe_s=per_stripe,
+            bytes_on_wire_mb_model=sum(p.total_transfer_mb() for _, p, _ in plans),
+            blocks_recovered=sum(len(f) for f in affected.values()),
+            replacement_of=replacement_of,
+            plans=[(sid, plan) for sid, plan, _ in plans],
+            committed=commit,
+        )
+        if obs is not None:
+            m = obs.metrics
+            m.counter("plan.fast_path_rounds").inc()
+            m.gauge("plan.fast_path_makespan_s").set(timing.makespan_s)
+        return timing
+
+    def simulate_years(self, spec) -> "object":
+        """Run the macro-scale durability simulator over this code shape.
+
+        ``spec`` is a :class:`repro.reliability.ReliabilitySpec`; fields
+        left as ``None`` (``k``, ``m``, ``block_size_mb``) inherit this
+        coordinator's code shape and modeled block size, so
+        ``coord.simulate_years(ReliabilitySpec(horizon_years=10))`` asks
+        "how durable is *this* system's configuration over a decade".
+        Returns a :class:`repro.reliability.ReliabilityReport` (MTTDL,
+        P(data loss by year t) curves with confidence intervals,
+        per-trial outcomes); an attached obs session records
+        ``reliability.*`` spans and metrics.  See ``docs/RELIABILITY.md``.
+        """
+        import dataclasses
+
+        from repro.reliability import ReliabilitySimulator
+
+        fills = {}
+        if spec.k is None:
+            fills["k"] = self.code.k
+        if spec.m is None:
+            fills["m"] = self.code.m
+        if spec.block_size_mb is None:
+            fills["block_size_mb"] = self.block_size_mb
+        if fills:
+            spec = dataclasses.replace(spec, **fills)
+        return ReliabilitySimulator(spec, obs=self.obs).run()
+
     def _pipeline_model(self, batch_res, per_stripe: dict, workers: int):
         """Chunk-level pipelining: decode each stripe as its flows land.
 
@@ -613,7 +829,9 @@ class Coordinator:
         return [
             s
             for s in self.spares
-            if self.cluster[s].alive and len(self.agents[s].store) == 0
+            if self.cluster[s].alive
+            and len(self.agents[s].store) == 0
+            and s not in self.reserved_spares
         ]
 
     def _dead_with_blocks(self, affected: dict[int, list[int]]) -> list[int]:

@@ -1,0 +1,132 @@
+"""Chaos tier for the durability simulator: long seeded soaks.
+
+Each iteration runs a full reliability trial under a seed-derived spec and
+asserts the conservation invariants that make a durability number
+trustworthy:
+
+* every lost stripe traces to ``> m`` concurrent block losses at the
+  moment it was declared lost;
+* spare accounting never goes negative or exceeds the pool, and a repair
+  is never in flight for a healthy node (``check_invariants=True`` makes
+  the simulator itself assert both after *every* event);
+* component state transitions conserve: fail/repair strictly alternate per
+  node, repairs never outnumber failures, and the event clock never runs
+  backwards.
+
+The headline soak — 100 simulated years over 10k stripes — is marked
+``slow`` and runs in the dedicated CI tier; a shrunken smoke variant keeps
+the invariants exercised in every tier-1 run.  Replay any failing
+iteration with the ``--chaos-seed`` command printed in its report section.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.reliability import ReliabilitySimulator, ReliabilitySpec
+from tests.seeds import DEFAULT_MASTER_SEED
+
+pytestmark = pytest.mark.chaos
+
+
+def _soak_spec(seed, **overrides):
+    base = dict(
+        k=8,
+        m=2,
+        scheme="hmbr",
+        n_nodes=40,
+        rack_size=8,
+        n_spares=8,
+        n_stripes=10_000,
+        node_mttf_hours=12_000.0,
+        burst_rate_per_year=6.0,
+        burst_loss_fraction=0.25,
+        lse_rate_per_node_year=20.0,
+        scrub_interval_hours=336.0,
+        horizon_years=100.0,
+        n_trials=1,
+        seed=seed,
+        check_invariants=True,
+    )
+    base.update(overrides)
+    return ReliabilitySpec(**base)
+
+
+def _assert_conservation(spec, trial):
+    # every recorded loss saw more concurrent failures than the code tolerates
+    for time_h, stripe, concurrent in trial.loss_records:
+        assert concurrent > spec.m, (
+            f"stripe {stripe} lost at {time_h:.1f}h with only "
+            f"{concurrent} concurrent losses (m={spec.m})"
+        )
+        assert 0 <= stripe < spec.n_stripes
+        assert 0.0 <= time_h <= spec.horizon_hours
+    # spare pool stayed within bounds (also asserted per-event in-run)
+    assert 0 <= trial.max_spares_in_use <= spec.n_spares
+    assert trial.max_concurrent_repairs <= spec.n_spares
+    # transitions conserve: a repair only ever follows a failure
+    assert trial.n_repairs <= trial.n_failures
+    if trial.first_loss_year is not None:
+        assert trial.stripes_lost > 0
+        assert 0.0 < trial.first_loss_year <= spec.horizon_years
+
+
+@pytest.mark.slow
+def test_century_soak_conserves_invariants(chaos_seed):
+    """100 simulated years × 10k stripes, invariant-checked every event."""
+    spec = _soak_spec(chaos_seed)
+    trial = ReliabilitySimulator(spec).run_trial(0)
+    assert trial.n_failures > 0, "a century must see failures at this MTTF"
+    assert trial.n_scrubs > 0 and trial.n_lse > 0
+    _assert_conservation(spec, trial)
+
+
+@pytest.mark.slow
+def test_century_soak_replays_identically(chaos_seed):
+    """The soak is a pure function of its seed (chaos-seed replayability)."""
+    spec = _soak_spec(chaos_seed, n_stripes=2000, horizon_years=25.0)
+    a = ReliabilitySimulator(spec).run_trial(0)
+    b = ReliabilitySimulator(spec).run_trial(0)
+    assert a == b
+
+
+def test_smoke_soak_conserves_invariants():
+    """Tier-1 shrink of the century soak: same invariants, seconds not minutes."""
+    spec = _soak_spec(
+        DEFAULT_MASTER_SEED,
+        n_stripes=500,
+        horizon_years=5.0,
+        node_mttf_hours=2500.0,
+        burst_rate_per_year=15.0,
+        record_events=True,
+    )
+    trial = ReliabilitySimulator(spec).run_trial(0)
+    assert trial.n_failures > 0
+    _assert_conservation(spec, trial)
+    # event stream sanity: monotone clock, strict fail/repair alternation
+    down = set()
+    last_h = 0.0
+    for time_h, kind, node in trial.event_log:
+        assert time_h >= last_h
+        last_h = time_h
+        if kind == "fail":
+            assert node not in down
+            down.add(node)
+        elif kind == "repair-done":
+            assert node in down
+            down.remove(node)
+
+
+def test_smoke_soak_losses_need_more_than_m_failures():
+    """Push rates until stripes die, then check each loss is legitimate."""
+    spec = _soak_spec(
+        DEFAULT_MASTER_SEED,
+        n_stripes=500,
+        horizon_years=5.0,
+        node_mttf_hours=1200.0,
+        burst_rate_per_year=30.0,
+        burst_loss_fraction=0.5,
+    )
+    trial = ReliabilitySimulator(spec).run_trial(0)
+    assert trial.stripes_lost > 0, "rates tuned so losses must occur"
+    _assert_conservation(spec, trial)

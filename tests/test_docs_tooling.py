@@ -13,7 +13,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 # must match the ratchet floor in .github/workflows/ci.yml (ratchet-only:
 # raise both together when coverage improves, never lower them)
-COVERAGE_FLOOR = 75.5
+COVERAGE_FLOOR = 76.5
 
 
 def _run(*argv):
@@ -104,6 +104,68 @@ def test_bench_schema_requires_monotone_chunk_sweep(tmp_path):
         res = _run("tools/check_bench_schema.py", str(bad))
         assert res.returncode == 1, f"{name} must fail the schema gate"
         assert "serving.chunk_sweep" in res.stderr
+
+
+def _reliability_doc(metrics, env=None):
+    """A minimal schema-valid reliability artifact with one nines point."""
+    return {
+        "schema_version": 1,
+        "suite": "reliability-simulator",
+        "env": {"python": "3", "fastpath_speedup_x": 100.0, **(env or {})},
+        "points": [
+            {
+                "bench": "reliability.nines",
+                "params": {"k": 8},
+                "metrics": {"speedup_x": 2.0, **metrics},
+            }
+        ],
+    }
+
+
+def test_bench_schema_enforces_reliability_nines_ordering(tmp_path):
+    """The reliability artifact must pin nines_hmbr strictly above nines_cr
+    and report the fast path's speedup in env."""
+    import json
+
+    good = tmp_path / "good.json"
+    good.write_text(
+        json.dumps(_reliability_doc({"nines_hmbr": 2.1, "nines_cr": 1.6}))
+    )
+    res = _run("tools/check_bench_schema.py", str(good))
+    assert res.returncode == 0, res.stdout + res.stderr
+
+    cases = {
+        # HMBR must strictly beat CR
+        "tied.json": _reliability_doc({"nines_hmbr": 1.6, "nines_cr": 1.6}),
+        "inverted.json": _reliability_doc({"nines_hmbr": 1.2, "nines_cr": 1.6}),
+        # both nines must be present
+        "missing.json": _reliability_doc({"nines_hmbr": 2.1}),
+        # env must carry a positive fastpath speedup
+        "no_speedup.json": _reliability_doc(
+            {"nines_hmbr": 2.1, "nines_cr": 1.6}, env={"fastpath_speedup_x": -1.0}
+        ),
+    }
+    for name, doc in cases.items():
+        bad = tmp_path / name
+        bad.write_text(json.dumps(doc))
+        res = _run("tools/check_bench_schema.py", str(bad))
+        assert res.returncode == 1, f"{name} must fail the schema gate"
+        assert "reliability" in res.stderr
+
+    # a document lacking the nines point entirely must also fail
+    no_point = _reliability_doc({"nines_hmbr": 2.1, "nines_cr": 1.6})
+    no_point["points"][0]["bench"] = "reliability.other"
+    lonely = tmp_path / "no_point.json"
+    lonely.write_text(json.dumps(no_point))
+    res = _run("tools/check_bench_schema.py", str(lonely))
+    assert res.returncode == 1
+    assert "reliability.nines" in res.stderr
+
+
+def test_committed_reliability_artifact_is_schema_valid():
+    """The committed BENCH_reliability.json passes the extended gate."""
+    res = _run("tools/check_bench_schema.py", str(REPO / "BENCH_reliability.json"))
+    assert res.returncode == 0, res.stdout + res.stderr
 
 
 def test_coverage_gate_ignores_private_and_init(tmp_path):

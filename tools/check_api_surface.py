@@ -41,6 +41,7 @@ PUBLIC_MODULES = [
     "repro.gf",
     "repro.obs",
     "repro.parallel",
+    "repro.reliability",
     "repro.repair",
     "repro.sched",
     "repro.simnet",

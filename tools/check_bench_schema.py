@@ -6,7 +6,8 @@ Usage::
     python tools/check_bench_schema.py [path ...]
 
 Defaults to the repo-root ``BENCH_batch.json``, ``BENCH_sched.json``,
-``BENCH_parallel.json``, and ``BENCH_serving.json``.
+``BENCH_parallel.json``, ``BENCH_serving.json``, and
+``BENCH_reliability.json``.
 Exits non-zero (listing every violation) if a document does not match the
 schema the benchmarks emit, so CI catches a drifting artifact before it is
 uploaded:
@@ -21,7 +22,12 @@ uploaded:
   ``serving.chunk_sweep`` point whose ``p99_ratio_c{chunks}`` metrics
   (at least two) fall strictly as ``chunks`` grows and never dip below
   1 — pinning that the chunked degraded-read pipeline closes the
-  degraded/healthy p99 gap monotonically without beating healthy reads.
+  degraded/healthy p99 gap monotonically without beating healthy reads;
+* suite ``reliability-simulator`` additionally carries a
+  ``reliability.nines`` point whose ``nines_hmbr`` strictly exceeds
+  ``nines_cr`` (faster multi-block repair must buy durability), and its
+  ``env`` must report a positive ``fastpath_speedup_x`` — the measured
+  advantage of metadata-only simulation over byte materialization.
 """
 
 import json
@@ -94,6 +100,8 @@ def check_doc(doc, errors):
         errors.append("no point carries a positive speedup_x metric")
     if doc.get("suite") == "online-serving-plane":
         check_chunk_sweep(points, errors)
+    if doc.get("suite") == "reliability-simulator":
+        check_reliability(doc, points, errors)
 
 
 def check_chunk_sweep(points, errors):
@@ -135,6 +143,46 @@ def check_chunk_sweep(points, errors):
         )
 
 
+def check_reliability(doc, points, errors):
+    """The reliability suite must pin HMBR's nines win and the fast path."""
+    env = doc.get("env")
+    speedup = env.get("fastpath_speedup_x") if isinstance(env, dict) else None
+    if (
+        isinstance(speedup, bool)
+        or not isinstance(speedup, (int, float))
+        or not math.isfinite(speedup)
+        or speedup <= 0
+    ):
+        errors.append(
+            "reliability suite env needs a positive finite fastpath_speedup_x"
+        )
+    nines = next(
+        (
+            p
+            for p in points
+            if isinstance(p, dict) and p.get("bench") == "reliability.nines"
+        ),
+        None,
+    )
+    if nines is None:
+        errors.append("reliability suite lacks a 'reliability.nines' point")
+        return
+    metrics = nines.get("metrics")
+    if not isinstance(metrics, dict):
+        return  # already reported by the generic point checks
+    hmbr = metrics.get("nines_hmbr")
+    cr = metrics.get("nines_cr")
+    numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)  # noqa: E731
+    if not (numeric(hmbr) and numeric(cr)):
+        errors.append("reliability.nines needs numeric nines_hmbr and nines_cr")
+        return
+    if not hmbr > cr:
+        errors.append(
+            f"reliability.nines nines_hmbr ({hmbr}) must be strictly greater "
+            f"than nines_cr ({cr}): faster repair must buy durability"
+        )
+
+
 def check_file(path: Path) -> list[str]:
     """All schema violations for one artifact file (empty list == valid)."""
     if not path.exists():
@@ -154,6 +202,7 @@ def main(argv: list[str]) -> int:
         REPO / "BENCH_sched.json",
         REPO / "BENCH_parallel.json",
         REPO / "BENCH_serving.json",
+        REPO / "BENCH_reliability.json",
     ]
     failures = []
     for path in paths:

@@ -147,10 +147,43 @@ def gen_serving() -> str:
     return canonical_json(regimes)
 
 
+def gen_reliability() -> str:
+    """A small deterministic durability run per scheme (ISSUE 8).
+
+    Calibrated timing on a pocket cluster with rates aggressive enough
+    that losses occur within the horizon, so the golden pins the whole
+    chain — engine calibration points, the seeded event stream's loss
+    accounting, Wilson-bounded nines, and the cross-scheme ordering — as
+    plain numbers.  Everything is simulated time; no wall clock feeds in.
+    """
+    import dataclasses
+
+    from repro.reliability import ReliabilitySimulator, ReliabilitySpec
+
+    base = ReliabilitySpec(
+        k=4, m=2, n_nodes=16, rack_size=4, n_spares=4, n_stripes=300,
+        node_mttf_hours=2000.0, burst_rate_per_year=12.0,
+        lse_rate_per_node_year=10.0, scrub_interval_hours=500.0,
+        horizon_years=2.0, n_trials=2,
+    )
+    out = {}
+    for scheme in ("cr", "ir", "hmbr"):
+        rep = ReliabilitySimulator(
+            dataclasses.replace(base, scheme=scheme)
+        ).run()
+        out[scheme] = {
+            "summary": rep.summary(),
+            "calibration": rep.calibration,
+            "mttdl_years": rep.mttdl_years,
+        }
+    return canonical_json(out)
+
+
 GENERATORS = {
     "exp1": gen_exp1,
     "exp5": gen_exp5,
     "exp6": gen_exp6,
+    "reliability": gen_reliability,
     "serving": gen_serving,
 }
 
