@@ -2,9 +2,13 @@
 
 The ``batched`` tests time per-stripe ``code.decode`` against
 :class:`repro.repair.batch.BatchRepairEngine` on a 16-stripe node-failure
-batch and record a perf-trajectory point into ``BENCH_batch.json``.
-``BENCH_SMOKE=1`` shrinks sizes (and drops the speedup floor) so CI can run
-them as a smoke test on shared runners.
+batch and record a perf-trajectory point into ``BENCH_batch.json`` — the
+selected GF kernel backend lands in the artifact's ``env`` block, and the
+``batched_backend`` test additionally pits the native C tier against the
+NumPy tier on the same workload (>= 5x is the full-fidelity acceptance
+floor, enforced here and re-checked by ``tools/check_bench_schema.py``).
+``BENCH_SMOKE=1`` shrinks sizes (and drops the speedup floors) so CI can
+run them as a smoke test on shared runners.
 """
 
 import os
@@ -13,11 +17,16 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import attach, record_batch_point
+from benchmarks.conftest import attach, record_batch_point, set_batch_env
 from repro.ec.rs import get_code
+from repro.gf.backend import available_backends, get_backend
 from repro.repair.batch import BatchRepairEngine, StripeBatchItem
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+#: the full-fidelity floor for the native tier vs NumPy on GF(2^8); the
+#: schema check re-asserts this from the committed artifact.
+NATIVE_SPEEDUP_FLOOR = 5.0
 
 
 def stripe_inputs(k, block_bytes, seed=0):
@@ -78,11 +87,13 @@ def test_batched_repair_speedup_f4(w):
     t_batch = _best_of(lambda: engine.repair_items(items), repeats)
     speedup = t_single / t_batch
     nbytes = n_stripes * k * block * code.field.dtype().itemsize
+    set_batch_env(backend=engine.stats()["backend"])
     record_batch_point(
         f"ec_codec.batched_repair.gf{w}",
         params={
             "k": k, "m": m, "f": f, "stripes": n_stripes,
             "block_symbols": block, "field_w": w, "smoke": SMOKE,
+            "backend": engine.stats()["backend"],
         },
         metrics={
             "per_stripe_s": t_single,
@@ -96,6 +107,77 @@ def test_batched_repair_speedup_f4(w):
         assert speedup >= 3.0, f"batched GF(2^8) repair only {speedup:.2f}x"
     else:
         assert speedup > 0.0
+
+
+@pytest.mark.parametrize("w", [8, 16])
+def test_batched_backend_tiers_f4(w):
+    """The pluggable-kernel gate: native >= 5x NumPy on the same batch.
+
+    Runs the exact 16-stripe f=4 decode of ``test_batched_repair_speedup_f4``
+    once per registered-and-available backend, records each tier's
+    ``decode_mbps`` trajectory point, and — full-fidelity, GF(2^8) — holds
+    the native tier to :data:`NATIVE_SPEEDUP_FLOOR` over the NumPy tier.
+    All tiers are asserted bit-identical before timing.
+    """
+    k, m, f, n_stripes = 8, 4, 4, 16
+    block = (1 << 12) if SMOKE else (1 << 16)
+    repeats = 2 if SMOKE else 5
+    code = get_code(k, m, w)
+    rng = np.random.default_rng(20230717)
+    failed = [1, 4, 6, 11][:f]
+    survivors = [i for i in range(code.n) if i not in failed][:k]
+    stripes = []
+    for _ in range(n_stripes):
+        data = rng.integers(0, code.field.size, size=(k, block)).astype(code.field.dtype)
+        stripes.append(code.encode_stripe(data))
+    items = [
+        StripeBatchItem(
+            stripe_id=sid,
+            survivors=tuple(survivors),
+            failed=tuple(failed),
+            sources=[s[i] for i in survivors],
+        )
+        for sid, s in enumerate(stripes)
+    ]
+    nbytes = n_stripes * k * block * code.field.dtype().itemsize
+
+    decode_s: dict[str, float] = {}
+    reference = None
+    for name in available_backends(w):
+        engine = BatchRepairEngine(code, backend=name)
+        res = engine.repair_items(items)  # warm plan cache + backend LUTs
+        if reference is None:
+            reference = res.outputs
+        else:  # every tier must produce the same bytes before we time it
+            for sid in (0, n_stripes - 1):
+                for fb in failed:
+                    assert np.array_equal(res.outputs[sid][fb], reference[sid][fb])
+        decode_s[name] = _best_of(lambda: engine.repair_items(items), repeats)
+
+    assert "numpy" in decode_s
+    for name, t in decode_s.items():
+        record_batch_point(
+            f"ec_codec.backend_{name}.gf{w}",
+            params={
+                "k": k, "m": m, "f": f, "stripes": n_stripes,
+                "block_symbols": block, "field_w": w, "smoke": SMOKE,
+                "backend": name,
+            },
+            metrics={
+                "decode_s": t,
+                "decode_mbps": nbytes / t / 2**20,
+                "vs_numpy_x": decode_s["numpy"] / t,
+            },
+        )
+    if "native" not in decode_s:
+        pytest.skip("native backend unavailable on this host (no compiler)")
+    native_x = decode_s["numpy"] / decode_s["native"]
+    if w == 8 and not SMOKE:
+        assert native_x >= NATIVE_SPEEDUP_FLOOR, (
+            f"native GF(2^8) tier only {native_x:.2f}x vs numpy"
+        )
+    else:
+        assert native_x > 0.0
 
 
 @pytest.mark.parametrize("k,m", [(6, 3), (64, 8)])

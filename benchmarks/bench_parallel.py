@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import record_parallel_point
+from benchmarks.conftest import record_parallel_point, set_parallel_env
 from repro.ec.rs import get_code
 from repro.parallel import ParallelRepairEngine, pipeline_schedule
 from repro.repair.batch import BatchRepairEngine, StripeBatchItem
@@ -101,6 +101,7 @@ def test_pooled_decode_speedup_vs_serial():
         t_inline = _best_of(lambda: serial_engine.repair_items(items), REPEATS)
         t_pooled = _best_of(lambda: engine.repair_items(items), REPEATS)
         stats = engine.stats()
+        set_parallel_env(backend=stats["backend"])
 
     speedup = t_single / t_pooled
     record_parallel_point(

@@ -22,12 +22,28 @@ from repro.gf.batch import (
     scale_lut,
     lut_cache_clear,
 )
+from repro.gf.backend import (
+    BackendUnavailable,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    select_backend,
+)
 
 __all__ = [
     "GF",
     "GF8",
     "GF16",
     "gf8",
+    "BackendUnavailable",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "select_backend",
     "gf_matmul",
     "gf_matvec",
     "gf_inv",

@@ -1,0 +1,190 @@
+"""Backend protocol, registry, and auto-selection for the GF plane matmul.
+
+Every repair data plane in the system funnels its hot loop through one
+operation — ``mat @ plane`` over GF(2^w) (the
+:meth:`~repro.repair.batch.BatchRepairEngine._plane_matmul` seam).  A
+*kernel backend* is one implementation of that operation:
+
+* :class:`KernelBackend` — the contract: a ``name``, a
+  :meth:`~KernelBackend.capabilities` predicate saying which word sizes
+  the backend handles, an :meth:`~KernelBackend.available` probe (may be
+  expensive once — e.g. compiling a C extension — and must be cached by
+  the implementation), and the kernel itself,
+  :meth:`~KernelBackend.plane_matmul`.  Every backend is **bit-exact**
+  with :func:`repro.gf.matrix.gf_matmul`; backends only change how fast
+  the same field arithmetic runs (the differential suite pins every
+  registered backend against the reference and against each other).
+* the **registry** — :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends`.  Registration is how pooled workers find
+  the same kernel the parent selected: only the backend *name* crosses
+  the process boundary.
+* **selection** — :func:`select_backend` picks the highest-priority
+  available backend for a word size, unless the ``REPRO_GF_BACKEND``
+  environment variable (or an explicit argument) overrides it.
+  :func:`resolve_backend` is the engine-facing wrapper accepting a name,
+  an instance, or ``None``.
+
+See ``docs/KERNELS.md`` for the selection order, measured throughput, and
+how to add a backend.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.gf.field import GF
+
+#: environment variable naming the backend to force (empty/unset = auto).
+ENV_VAR = "REPRO_GF_BACKEND"
+
+
+class BackendUnavailable(RuntimeError):
+    """A requested kernel backend is unknown, unavailable, or incapable."""
+
+
+class KernelBackend(abc.ABC):
+    """One implementation of the GF(2^w) plane matmul.
+
+    Subclasses set :attr:`name` (the registry key) and :attr:`priority`
+    (selection rank, higher wins) and implement the three probes below.
+    Implementations must be thread-safe: engines on concurrent waves
+    share one backend instance.
+    """
+
+    #: registry key; what ``REPRO_GF_BACKEND`` names.
+    name: str = ""
+    #: selection rank among available backends (higher = preferred).
+    priority: int = 0
+
+    @abc.abstractmethod
+    def capabilities(self, w: int) -> bool:
+        """Whether this backend handles GF(2^w) planes."""
+
+    def available(self) -> bool:
+        """Whether the backend can run here (compiler/library present).
+
+        May do one-time expensive work (compiling, dlopen) — the result
+        must be cached so selection stays cheap.
+        """
+        return True
+
+    @abc.abstractmethod
+    def plane_matmul(self, mat: np.ndarray, plane: np.ndarray, field: "GF") -> np.ndarray:
+        """``mat @ plane`` over the field — bit-exact with ``gf_matmul``."""
+
+    def warm(self, field: "GF", coeffs) -> None:
+        """Pre-build per-coefficient tables (pool-initializer hook)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend, *, replace: bool = False) -> KernelBackend:
+    """Add a backend to the registry (the name becomes selectable).
+
+    Registration is required for the pooled data plane: worker processes
+    re-resolve the parent's backend by name.  Returns the backend for
+    chaining.
+    """
+    if not backend.name:
+        raise ValueError("backend must carry a non-empty name")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def registered_backends() -> list[str]:
+    """Every registered backend name, best-first (availability not probed)."""
+    return sorted(_REGISTRY, key=lambda n: -_REGISTRY[n].priority)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend for ``name``; raises :class:`BackendUnavailable`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BackendUnavailable(
+            f"unknown GF kernel backend {name!r}; registered: {registered_backends()}"
+        ) from None
+
+
+def available_backends(w: int | None = None) -> list[str]:
+    """Names of backends that can run here, best-first.
+
+    With ``w`` the list is additionally filtered to backends whose
+    :meth:`~KernelBackend.capabilities` cover that word size.
+    """
+    names = []
+    for name in registered_backends():
+        b = _REGISTRY[name]
+        if w is not None and not b.capabilities(w):
+            continue
+        if b.available():
+            names.append(name)
+    return names
+
+
+def select_backend(w: int = 8, override: str | None = None) -> KernelBackend:
+    """The backend the engines should use for GF(2^w).
+
+    Selection order:
+
+    1. ``override`` argument, if given;
+    2. the ``REPRO_GF_BACKEND`` environment variable, if set and non-empty;
+    3. the highest-:attr:`~KernelBackend.priority` registered backend that
+       is available *and* capable of ``w``.
+
+    An override naming an unknown, unavailable, or incapable backend
+    raises :class:`BackendUnavailable` — a forced backend silently
+    degrading to another kernel would defeat the point of forcing it.
+    """
+    name = override if override is not None else os.environ.get(ENV_VAR) or None
+    if name:
+        backend = get_backend(name)
+        if not backend.capabilities(w):
+            raise BackendUnavailable(
+                f"backend {name!r} does not support GF(2^{w})"
+            )
+        if not backend.available():
+            raise BackendUnavailable(
+                f"backend {name!r} is not available on this host"
+            )
+        return backend
+    for candidate in registered_backends():
+        b = _REGISTRY[candidate]
+        if b.capabilities(w) and b.available():
+            return b
+    raise BackendUnavailable(f"no registered backend supports GF(2^{w})")
+
+
+def resolve_backend(spec, field_or_w) -> KernelBackend:
+    """Normalize an engine's ``backend=`` argument to a live backend.
+
+    ``spec`` may be ``None`` (auto-select, honoring ``REPRO_GF_BACKEND``),
+    a registered name, or a :class:`KernelBackend` instance (validated for
+    capability but not required to be registered — though only registered
+    backends can cross into pooled workers).
+    """
+    w = int(getattr(field_or_w, "w", field_or_w))
+    if spec is None:
+        return select_backend(w)
+    if isinstance(spec, str):
+        return select_backend(w, override=spec)
+    if isinstance(spec, KernelBackend):
+        if not spec.capabilities(w):
+            raise BackendUnavailable(
+                f"backend {spec.name!r} does not support GF(2^{w})"
+            )
+        return spec
+    raise TypeError(
+        f"backend must be None, a name, or a KernelBackend, got {type(spec).__name__}"
+    )

@@ -25,6 +25,8 @@ arithmetic runs.
 
 from __future__ import annotations
 
+import sys
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -37,17 +39,38 @@ from repro.gf.field import GF
 #: every GF(2^8) coefficient; the LRU bound only matters for GF(2^16).
 _LUT_CACHE: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
 _LUT_CACHE_CAPACITY = 512
+#: guards every _LUT_CACHE mutation (get+move_to_end, insert, popitem):
+#: scale_lut is called from concurrent wave dispatch and the serving
+#: plane's thread-level fan-out, and an unlocked OrderedDict corrupts
+#: under simultaneous LRU reordering/eviction (same hazard the PlanCache
+#: lock closed in repro.repair.batch).
+_LUT_CACHE_LOCK = threading.Lock()
+
+#: The pair-byte fast path reinterprets byte pairs as uint16 words, which
+#: only matches :func:`_pair_lut8`'s index packing on a little-endian
+#: host; big-endian hosts take the bytewise fallback in
+#: :func:`gf_plane_matmul` instead (bit-exact, just one gather per byte
+#: rather than per pair).
+_PAIR_VIEW_OK = sys.byteorder == "little"
 
 
 def _pair_lut8(field: GF, coeff: int) -> np.ndarray:
     """The uint16 pair table for ``coeff`` in a byte-sized field (w <= 8).
 
-    Little-endian pairs: ``index = lo_byte + (hi_byte << 8)`` maps to
-    ``(c * lo) | (c * hi) << 8``.  For w < 8 only indices whose bytes are
-    valid field elements are ever gathered; the rest stay zero.
+    Index packing is explicitly little-endian: a byte pair ``[b0, b1]``
+    viewed as a host uint16 reads ``b0 | (b1 << 8)`` only when the host
+    is little-endian (the ``_PAIR_VIEW_OK`` gate), and the table maps that
+    index to ``(c*b0) | ((c*b1) << 8)`` — so storing the gathered word
+    back puts ``c*b0`` in the low byte and ``c*b1`` in the high byte,
+    exactly where the source bytes came from.  For w < 8 only indices
+    whose bytes are valid field elements are ever gathered; the rest stay
+    zero.
     """
     lut8 = np.zeros(256, dtype=np.uint16)
     lut8[: field.size] = field.mul_table[coeff]
+    # row index = high byte (<< 8), column index = low byte: entry
+    # [hi, lo] of the outer sum is (c*hi) << 8 | (c*lo), raveled so the
+    # flat index is (hi << 8) | lo.
     return np.add.outer(lut8 << 8, lut8).ravel()
 
 
@@ -71,24 +94,35 @@ def scale_lut(field: GF, coeff: int) -> np.ndarray:
     if not 0 < coeff < field.size:
         raise ValueError(f"coefficient {coeff} outside 1..{field.size - 1}")
     key = (field.w, coeff)
-    cached = _LUT_CACHE.get(key)
-    if cached is not None:
-        _LUT_CACHE.move_to_end(key)
-        return cached
+    with _LUT_CACHE_LOCK:
+        cached = _LUT_CACHE.get(key)
+        if cached is not None:
+            _LUT_CACHE.move_to_end(key)
+            return cached
+    # Build outside the lock: table construction is the slow path and must
+    # not serialize concurrent hits on other coefficients.
     if field.mul_table is not None:  # byte-sized fields (w <= 8): pair tables
         lut = _pair_lut8(field, coeff)
     else:  # w == 16: one table entry per field element
         lut = _word_lut16(field, coeff)
     lut.setflags(write=False)
-    _LUT_CACHE[key] = lut
-    while len(_LUT_CACHE) > _LUT_CACHE_CAPACITY:
-        _LUT_CACHE.popitem(last=False)
+    with _LUT_CACHE_LOCK:
+        raced = _LUT_CACHE.get(key)
+        if raced is not None:
+            # Another thread built the same table first; serve its copy so
+            # `scale_lut(f, c) is scale_lut(f, c)` holds under contention.
+            _LUT_CACHE.move_to_end(key)
+            return raced
+        _LUT_CACHE[key] = lut
+        while len(_LUT_CACHE) > _LUT_CACHE_CAPACITY:
+            _LUT_CACHE.popitem(last=False)
     return lut
 
 
 def lut_cache_clear() -> None:
     """Drop every memoized LUT (test isolation / memory pressure)."""
-    _LUT_CACHE.clear()
+    with _LUT_CACHE_LOCK:
+        _LUT_CACHE.clear()
 
 
 def gf_plane_matmul(mat: np.ndarray, plane: np.ndarray, field: GF) -> np.ndarray:
@@ -107,6 +141,22 @@ def gf_plane_matmul(mat: np.ndarray, plane: np.ndarray, field: GF) -> np.ndarray
     n = plane.shape[1]
     out = np.zeros((f, n), dtype=field.dtype)
     if n == 0:
+        return out
+
+    if field.mul_table is not None and not _PAIR_VIEW_OK:
+        # Big-endian host (or a test forcing the gate): the uint16
+        # reinterpret below would swap _pair_lut8's index packing, so
+        # gather one byte at a time through the plain multiply table.
+        for i in range(f):
+            row = out[i]
+            for t in range(k):
+                c = int(mat[i, t])
+                if c == 0:
+                    continue
+                if c == 1:
+                    row ^= plane[t]
+                    continue
+                row ^= field.mul_table[c][plane[t]]
         return out
 
     if field.mul_table is not None:  # byte-sized fields: pair-byte gathers

@@ -26,11 +26,13 @@ class GF:
     """
 
     def __new__(cls, w: int = 8):
-        if w in _FIELD_CACHE:
-            return _FIELD_CACHE[w]
-        self = super().__new__(cls)
-        _FIELD_CACHE[w] = self
-        return self
+        # Only fully-initialized fields ever enter the cache (see __init__),
+        # so a failed construction — GF(5) — cannot poison the singleton
+        # slot with a half-built object for every later caller.
+        cached = _FIELD_CACHE.get(w)
+        if cached is not None:
+            return cached
+        return super().__new__(cls)
 
     def __init__(self, w: int = 8):
         if getattr(self, "_initialized", False):
@@ -45,6 +47,7 @@ class GF:
         self.inv_table = build_inv_table(w)
         self.mul_table = build_mul_table(w) if w <= 8 else None
         self._initialized = True
+        _FIELD_CACHE[w] = self
 
     # ------------------------------------------------------------------ #
     # scalar / elementwise arithmetic

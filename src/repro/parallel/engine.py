@@ -9,10 +9,12 @@ engine drops into every seam that accepts a ``BatchRepairEngine``
 scheduler's wave dispatch).
 
 Bit-exactness contract: each worker decodes its column shard with the very
-kernel the serial engine calls (:func:`repro.gf.batch.gf_plane_matmul`),
-and every output column belongs to exactly one shard, so the pooled product
-equals the serial product byte for byte — for any worker count, healthy or
-mid-storm.  ``workers=1`` never touches a process at all.
+kernel tier the serial engine selected (see :mod:`repro.gf.backend` — the
+backend *name* rides the pool initializer across the fork boundary), and
+every output column belongs to exactly one shard, so the pooled product
+equals the serial product byte for byte — for any worker count, any
+backend, healthy or mid-storm.  ``workers=1`` never touches a process at
+all.
 
 Observability (when an :class:`repro.obs.Observability` session is
 attached): op-domain ``parallel`` spans per pooled kernel call, and the
@@ -48,6 +50,12 @@ class ParallelRepairEngine(BatchRepairEngine):
         with ``workers``/``min_parallel_cols``.
     min_parallel_cols:
         Planes narrower than this decode inline even with workers > 1.
+    backend:
+        Kernel-tier spec (name, :class:`~repro.gf.backend.KernelBackend`
+        instance, or ``None`` for auto-selection), forwarded both to the
+        serial base engine and to an owned pool so inline and pooled
+        decodes run the same tier.  When sharing an external ``pool`` the
+        pool's own spec wins for pooled shards.
     """
 
     def __init__(
@@ -59,15 +67,20 @@ class ParallelRepairEngine(BatchRepairEngine):
         workers: int | None = None,
         pool: WorkerPool | None = None,
         min_parallel_cols: int = DEFAULT_MIN_PARALLEL_COLS,
+        backend=None,
     ):
-        super().__init__(code, cache=cache, obs=obs)
+        super().__init__(code, cache=cache, obs=obs, backend=backend)
         if pool is not None and workers is not None:
             raise ValueError("pass either a pool or a workers count, not both")
         if pool is not None:
             self.pool = pool
             self._owns_pool = False
         else:
-            self.pool = WorkerPool(workers=workers, min_parallel_cols=min_parallel_cols)
+            self.pool = WorkerPool(
+                workers=workers,
+                min_parallel_cols=min_parallel_cols,
+                backend=self.backend,
+            )
             self._owns_pool = True
 
     @property

@@ -10,18 +10,20 @@ survivor plane instead of pickled copies:
   the only bytes crossing the IPC pipe are shard descriptors (segment
   names, shapes, column ranges) and the small (f, k) decode matrix;
 * each worker runs :func:`_worker_init` once at pool start, building the
-  GF(2^w) field tables and pre-warming the pair-byte / word scale LUTs
-  (:func:`repro.gf.batch.scale_lut`) for the decode matrix's coefficients,
-  so no worker pays table-construction cost on the decode path;
+  GF(2^w) field tables, re-resolving the parent's selected kernel backend
+  by *name* (only the name crosses the fork boundary; see
+  :mod:`repro.gf.backend`), and pre-warming that backend's multiply LUTs
+  for the decode matrix's coefficients, so no worker pays
+  table-construction cost on the decode path;
 * shard boundaries are aligned to whole stripes (``item_len`` columns)
   whenever the caller says how wide a stripe is, keeping per-stripe output
   slices inside a single worker's range.
 
 ``workers=1`` is the **serial fallback**: no processes, no shared memory —
-:meth:`WorkerPool.decode_plane` calls straight into
-:func:`repro.gf.batch.gf_plane_matmul`, which is the exact kernel the
-serial :class:`~repro.repair.batch.BatchRepairEngine` runs, so the two
-paths are bit-identical by construction (and asserted by the twin-system
+:meth:`WorkerPool.decode_plane` calls straight into the selected backend's
+``plane_matmul``, which is the exact kernel the serial
+:class:`~repro.repair.batch.BatchRepairEngine` runs, so the two paths are
+bit-identical by construction (and asserted by the twin-system
 differential tests).
 
 The pool prefers the ``fork`` start method (workers inherit the parent's
@@ -39,7 +41,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.gf.batch import gf_plane_matmul, scale_lut
+from repro.gf.backend import KernelBackend, get_backend, resolve_backend, select_backend
 from repro.gf.field import GF
 
 #: planes narrower than this many columns decode inline even when the pool
@@ -48,6 +50,9 @@ DEFAULT_MIN_PARALLEL_COLS = 1 << 12
 
 #: the per-worker field singleton, installed by :func:`_worker_init`.
 _WORKER_FIELD: GF | None = None
+#: the per-worker kernel backend, resolved by name in :func:`_worker_init`
+#: so every shard decodes through the same tier the parent selected.
+_WORKER_BACKEND: KernelBackend | None = None
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -60,18 +65,31 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def _worker_init(w: int, coeffs: tuple[int, ...]) -> None:
-    """Pool initializer: build GF(2^w) and pre-warm its scale LUTs.
+def _worker_init(w: int, coeffs: tuple[int, ...], backend_name: str | None = None) -> None:
+    """Pool initializer: build GF(2^w), pick the kernel, pre-warm its LUTs.
 
-    Runs once per worker process.  Warming here means the first shard a
+    Runs once per worker process.  ``backend_name`` is the tier the parent
+    selected — only the *name* crosses the fork/pickle boundary; the
+    worker re-resolves it against its own registry (falling back to
+    auto-selection if that tier cannot run here, e.g. a cached native
+    build that fails to load).  Warming here means the first shard a
     worker decodes pays zero table-construction cost — the whole point of
     a long-lived pool over per-call processes.
     """
-    global _WORKER_FIELD
+    global _WORKER_FIELD, _WORKER_BACKEND
     _WORKER_FIELD = GF(w)
-    for c in coeffs:
-        if c > 1:
-            scale_lut(_WORKER_FIELD, int(c))
+    backend = None
+    if backend_name is not None:
+        try:
+            candidate = get_backend(backend_name)
+            if candidate.capabilities(w) and candidate.available():
+                backend = candidate
+        except Exception:  # noqa: BLE001 - fall through to auto-select
+            backend = None
+    if backend is None:
+        backend = select_backend(w)
+    _WORKER_BACKEND = backend
+    backend.warm(_WORKER_FIELD, tuple(int(c) for c in coeffs))
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -103,19 +121,24 @@ def _decode_shard(
     """Worker body: decode output columns ``[lo, hi)`` of the shared plane.
 
     Attaches the input/output segments, multiplies its column range through
-    the decode matrix with the same LUT kernel the serial engine uses, and
-    writes the result into the shared output in place.  Returns
-    ``(lo, hi, seconds)`` for the parent's utilization accounting.
+    the decode matrix with the kernel backend installed by
+    :func:`_worker_init` (the very tier the serial engine would run, so
+    pooled output equals serial output byte for byte), and writes the
+    result into the shared output in place.  Returns ``(lo, hi, seconds)``
+    for the parent's utilization accounting.
     """
     t0 = time.perf_counter()
     field = _WORKER_FIELD if _WORKER_FIELD is not None and _WORKER_FIELD.w == w else GF(w)
+    backend = _WORKER_BACKEND
+    if backend is None or not backend.capabilities(w):  # pragma: no cover - safety net
+        backend = select_backend(w)
     shm_in = _attach(in_name)
     shm_out = _attach(out_name)
     try:
         mat = np.frombuffer(mat_bytes, dtype=field.dtype).reshape(f, k)
         plane = np.ndarray((k, n), dtype=field.dtype, buffer=shm_in.buf)
         out = np.ndarray((f, n), dtype=field.dtype, buffer=shm_out.buf)
-        out[:, lo:hi] = gf_plane_matmul(mat, plane[:, lo:hi], field)
+        out[:, lo:hi] = backend.plane_matmul(mat, plane[:, lo:hi], field)
     finally:
         shm_in.close()
         shm_out.close()
@@ -199,23 +222,41 @@ class WorkerPool:
         workers: int | None = None,
         min_parallel_cols: int = DEFAULT_MIN_PARALLEL_COLS,
         start_method: str | None = None,
+        backend: str | KernelBackend | None = None,
     ):
         self.workers = resolve_workers(workers)
         self.min_parallel_cols = int(min_parallel_cols)
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else None
         self.start_method = start_method
+        #: the kernel-tier *spec* (name, instance, or None for auto); the
+        #: live backend is resolved per field in :meth:`_backend_for`.
+        self.backend_spec = backend
         self.stats = PoolStats()
         self._pool = None
         self._pool_w: int | None = None
+        self._pool_backend: str | None = None
         self._warmed: set[int] = set()
 
     # -------------------------------------------------------------- #
     # lifecycle
     # -------------------------------------------------------------- #
-    def _ensure_pool(self, field: GF, coeffs: tuple[int, ...]):
-        """The live pool for ``field``, (re)forking workers if needed."""
-        if self._pool is not None and self._pool_w == field.w:
+    def _backend_for(self, field: GF) -> KernelBackend:
+        """The kernel backend this pool runs for ``field``.
+
+        Resolution happens per call (not once at construction) because one
+        pool may serve both GF(2^8) and GF(2^16) planes and the best tier
+        can differ between them (e.g. ISA-L covers only w=8).
+        """
+        return resolve_backend(self.backend_spec, field)
+
+    def _ensure_pool(self, field: GF, coeffs: tuple[int, ...], backend: KernelBackend):
+        """The live pool for ``field``/``backend``, (re)forking if needed."""
+        if (
+            self._pool is not None
+            and self._pool_w == field.w
+            and self._pool_backend == backend.name
+        ):
             return self._pool
         self.close()
         try:  # pragma: no cover - absent on Windows
@@ -227,15 +268,16 @@ class WorkerPool:
         except (ImportError, AttributeError):
             pass
         ctx = mp.get_context(self.start_method)
-        # Build the parent-side tables *before* forking so fork-start
+        # Warm the parent-side tables *before* forking so fork-start
         # workers inherit them and the initializer's warmup is a no-op hit.
-        for c in coeffs:
-            if c > 1:
-                scale_lut(field, int(c))
+        backend.warm(field, coeffs)
         self._pool = ctx.Pool(
-            self.workers, initializer=_worker_init, initargs=(field.w, tuple(coeffs))
+            self.workers,
+            initializer=_worker_init,
+            initargs=(field.w, tuple(coeffs), backend.name),
         )
         self._pool_w = field.w
+        self._pool_backend = backend.name
         self._warmed = {int(c) for c in coeffs}
         return self._pool
 
@@ -246,6 +288,7 @@ class WorkerPool:
             self._pool.join()
             self._pool = None
             self._pool_w = None
+            self._pool_backend = None
             self._warmed = set()
 
     def __enter__(self) -> "WorkerPool":
@@ -284,21 +327,24 @@ class WorkerPool:
             raise ValueError(f"incompatible shapes {mat.shape} x {plane.shape}")
         f, k = mat.shape
         n = plane.shape[1]
+        backend = self._backend_for(field)
         if self.workers <= 1 or n < self.min_parallel_cols or n == 0:
             t0 = time.perf_counter()
-            out = gf_plane_matmul(mat, plane, field)
+            out = backend.plane_matmul(mat, plane, field)
             dt = time.perf_counter() - t0
             self.stats.inline_calls += 1
             return out, [ShardStat(0, n, dt)]
 
         coeffs = tuple(sorted({int(c) for c in mat.ravel() if int(c) > 1}))
-        pool = self._ensure_pool(field, coeffs)
+        pool = self._ensure_pool(field, coeffs, backend)
         missing = [c for c in coeffs if c not in self._warmed]
         if missing:
             # New decode matrix since the workers were forked: warm its
             # LUTs once in every worker rather than on each one's first
             # shard (run one tiny job per worker to reach them all).
-            pool.starmap(_worker_init, [(field.w, tuple(missing))] * self.workers)
+            pool.starmap(
+                _worker_init, [(field.w, tuple(missing), backend.name)] * self.workers
+            )
             self._warmed.update(missing)
 
         itemsize = field.dtype().itemsize

@@ -34,7 +34,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.ec.rs import RSCode
-from repro.gf.batch import gf_plane_matmul
+from repro.gf.backend import resolve_backend
 from repro.gf.matrix import gf_inv, gf_matmul
 
 
@@ -295,13 +295,23 @@ class BatchRepairEngine:
     :class:`PlanCache`; callers hand it survivor bytes and receive repaired
     blocks, making it equally usable from the coordinator's agent-backed
     data plane, the executor's workspace, and bare benchmarks.
+
+    ``backend`` selects the GF kernel tier running the plane matmul: a
+    :mod:`repro.gf.backend` name (``"numpy"``, ``"native"``, ``"isal"``),
+    a :class:`~repro.gf.backend.KernelBackend` instance, or ``None`` for
+    auto-selection (``REPRO_GF_BACKEND`` override → best available).
+    Every backend is bit-exact, so the choice only moves throughput.
     """
 
-    def __init__(self, code: RSCode, cache: PlanCache | None = None, obs=None):
+    def __init__(
+        self, code: RSCode, cache: PlanCache | None = None, obs=None, backend=None
+    ):
         self.code = code
         self.cache = cache if cache is not None else PlanCache()
         #: optional :class:`repro.obs.Observability` session for spans/metrics.
         self.obs = obs
+        #: the selected GF kernel tier (resolved once, at construction).
+        self.backend = resolve_backend(backend, code.field)
 
     # -------------------------------------------------------------- #
     # core kernels
@@ -314,11 +324,12 @@ class BatchRepairEngine:
         ``item_len`` is the per-stripe column width of ``plane`` (when the
         caller knows it), letting sharded implementations keep each
         stripe's columns on a single worker.  The base engine decodes
-        inline; :class:`repro.parallel.ParallelRepairEngine` overrides
-        this to fan out across a process pool — nothing else differs
-        between the serial and parallel engines.
+        inline through the selected :attr:`backend`;
+        :class:`repro.parallel.ParallelRepairEngine` overrides this to fan
+        out across a process pool — nothing else differs between the
+        serial and parallel engines.
         """
-        return gf_plane_matmul(mat, plane, self.code.field)
+        return self.backend.plane_matmul(mat, plane, self.code.field)
 
     def decode_batch(self, survivor_ids, failed_ids, stacked: np.ndarray) -> np.ndarray:
         """Decode S same-pattern stripes at once: (S, k, B) -> (S, f, B).
@@ -437,4 +448,6 @@ class BatchRepairEngine:
         return self.cache.invalidate_survivor(block_index)
 
     def stats(self) -> dict:
-        return self.cache.stats()
+        out = self.cache.stats()
+        out["backend"] = self.backend.name
+        return out

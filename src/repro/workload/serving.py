@@ -222,6 +222,7 @@ class ServingPlane:
         decode_mbps: float = 1024.0,
         chunks: int = 1,
         fast_path: bool = True,
+        backend=None,
     ):
         if foreground_weight <= 0:
             raise ValueError("foreground_weight must be positive")
@@ -235,6 +236,9 @@ class ServingPlane:
         self.decode_mbps = decode_mbps
         self.chunks = int(chunks)
         self.fast_path = fast_path
+        #: kernel-tier spec for degraded-read decodes (name / instance /
+        #: ``None`` = auto); forwarded to every engine this plane builds.
+        self.backend = backend
         self.gen = WorkloadGenerator(spec)
         #: stripe id -> estimated repair landing (set per run; see run()).
         self._eta: dict[int, float] = {}
@@ -276,7 +280,10 @@ class ServingPlane:
         """
         gw = gateway if gateway is not None else self._gateways()[0]
         engine = BatchRepairEngine(
-            self.coord.code, cache=self.coord.plan_cache, obs=self.coord.obs
+            self.coord.code,
+            cache=self.coord.plan_cache,
+            obs=self.coord.obs,
+            backend=self.backend,
         )
         payload, _ = self._read_plan(name, gw, engine, None, "")
         return payload
@@ -495,7 +502,9 @@ class ServingPlane:
             est = coord.sched.estimate_finish_s(reqs)
             self._eta, self._repl = est.finish_s, est.replacement_of
         ops = self.gen.ops()
-        engine = BatchRepairEngine(coord.code, cache=coord.plan_cache, obs=obs)
+        engine = BatchRepairEngine(
+            coord.code, cache=coord.plan_cache, obs=obs, backend=self.backend
+        )
         gateways = self._gateways()
         bus_before = coord.bus.total_bytes()
         fg_tasks: list = []

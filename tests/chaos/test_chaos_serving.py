@@ -16,8 +16,10 @@ push stripes beyond ``m`` losses on purpose: those reads must *fail
 loudly*, not fabricate data.
 
 Each round serves through a freshly-built plane with a random degraded-
-read chunk count (the ISSUE 7 pipelined path) and the fast path armed,
-so the byte invariants cover every chunk geometry under storm + kills.
+read chunk count (the ISSUE 7 pipelined path), a random GF kernel backend
+(the ISSUE 9 pluggable tier — all backends must produce identical bytes),
+and the fast path armed, so the byte invariants cover every chunk
+geometry x kernel tier under storm + kills.
 """
 
 import hashlib
@@ -25,6 +27,7 @@ import math
 
 import numpy as np
 
+from repro.gf.backend import available_backends
 from repro.system.request import RepairRequest
 from repro.workload import ServingPlane, WorkloadGenerator, WorkloadSpec, object_payload
 
@@ -82,10 +85,12 @@ def test_serving_survives_fault_storm(chaos_system, chaos_seed):
         repair = ()
         if len(coord._free_spares()) >= len(coord.cluster.dead_ids()):
             repair = (RepairRequest(scheme="hmbr", batched=True, priority="background"),)
-        # a random chunk geometry per round: the pipelined degraded path
-        # must produce identical bytes for every chunk count
+        # a random chunk geometry and kernel backend per round: the
+        # pipelined degraded path must produce identical bytes for every
+        # chunk count and every GF kernel tier
         chunks = int(rng.integers(1, 9))
-        plane = ServingPlane(coord, spec, chunks=chunks)
+        backend = str(rng.choice(available_backends(coord.code.field.w)))
+        plane = ServingPlane(coord, spec, chunks=chunks, backend=backend)
         res = plane.run(repair=repair)
         assert res.chunks == chunks
         assert len(res.outcomes) == n_ops, "an op was silently dropped"

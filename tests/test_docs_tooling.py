@@ -13,7 +13,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 # must match the ratchet floor in .github/workflows/ci.yml (ratchet-only:
 # raise both together when coverage improves, never lower them)
-COVERAGE_FLOOR = 76.5
+COVERAGE_FLOOR = 76.8
 
 
 def _run(*argv):
@@ -165,6 +165,79 @@ def test_bench_schema_enforces_reliability_nines_ordering(tmp_path):
 def test_committed_reliability_artifact_is_schema_valid():
     """The committed BENCH_reliability.json passes the extended gate."""
     res = _run("tools/check_bench_schema.py", str(REPO / "BENCH_reliability.json"))
+    assert res.returncode == 0, res.stdout + res.stderr
+
+
+def _batch_doc(env=None, native_metrics=None):
+    """A minimal schema-valid batch artifact, optionally with a native point."""
+    points = [
+        {
+            "bench": "ec_codec.backend_numpy.gf8",
+            "params": {"k": 8, "backend": "numpy"},
+            "metrics": {"speedup_x": 3.5, "decode_mbps": 250.0, "vs_numpy_x": 1.0},
+        }
+    ]
+    if native_metrics is not None:
+        points.append(
+            {
+                "bench": "ec_codec.backend_native.gf8",
+                "params": {"k": 8, "backend": "native"},
+                "metrics": {"decode_mbps": 2000.0, **native_metrics},
+            }
+        )
+    return {
+        "schema_version": 1,
+        "suite": "batched-multi-stripe-repair",
+        "env": {"python": "3", "smoke": False, "backend": "native", **(env or {})},
+        "points": points,
+    }
+
+
+def test_bench_schema_enforces_batch_backend_rules(tmp_path):
+    """The batch artifact must name its kernel tier, carry a decode_mbps
+    point, and hold the native tier to the 5x floor at full fidelity."""
+    import json
+
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_batch_doc(native_metrics={"vs_numpy_x": 9.0})))
+    res = _run("tools/check_bench_schema.py", str(good))
+    assert res.returncode == 0, res.stdout + res.stderr
+
+    # a smoke-mode artifact is exempt from the native floor
+    smoky = tmp_path / "smoke.json"
+    smoky.write_text(
+        json.dumps(_batch_doc(env={"smoke": True}, native_metrics={"vs_numpy_x": 1.1}))
+    )
+    res = _run("tools/check_bench_schema.py", str(smoky))
+    assert res.returncode == 0, res.stdout + res.stderr
+
+    cases = {
+        # the selected kernel tier must be recorded
+        "no_backend.json": _batch_doc(env={"backend": ""}),
+        # a full-fidelity native point below the floor must fail
+        "slow_native.json": _batch_doc(native_metrics={"vs_numpy_x": 4.9}),
+        "untracked_native.json": _batch_doc(native_metrics={}),
+    }
+    for name, doc in cases.items():
+        bad = tmp_path / name
+        bad.write_text(json.dumps(doc))
+        res = _run("tools/check_bench_schema.py", str(bad))
+        assert res.returncode == 1, f"{name} must fail the schema gate"
+
+    # dropping every decode_mbps metric must also fail
+    no_mbps = _batch_doc()
+    for p in no_mbps["points"]:
+        p["metrics"].pop("decode_mbps", None)
+    lonely = tmp_path / "no_mbps.json"
+    lonely.write_text(json.dumps(no_mbps))
+    res = _run("tools/check_bench_schema.py", str(lonely))
+    assert res.returncode == 1
+    assert "decode_mbps" in res.stderr
+
+
+def test_committed_batch_artifact_is_schema_valid():
+    """The committed BENCH_batch.json passes the extended backend gate."""
+    res = _run("tools/check_bench_schema.py", str(REPO / "BENCH_batch.json"))
     assert res.returncode == 0, res.stdout + res.stderr
 
 

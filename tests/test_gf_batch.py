@@ -88,6 +88,48 @@ def test_plane_matmul_noncontiguous_input():
     )
 
 
+@pytest.mark.parametrize("w", [4, 8])
+@pytest.mark.parametrize("n", [1, 2, 7, 64, 1023, 1024])
+def test_plane_matmul_bytewise_fallback_matches(monkeypatch, w, n):
+    """Regression (ISSUE 9): the pair-byte fast path reinterprets byte
+    pairs as host uint16 words, which silently assumed little-endian.
+    Forcing the ``_PAIR_VIEW_OK`` gate off takes the bytewise fallback a
+    big-endian host would take — it must be bit-exact with both the
+    reference and the fast path."""
+    import repro.gf.batch as batch_mod
+
+    field = GF(w)
+    rng = np.random.default_rng(n + w)
+    mat = rng.integers(0, field.size, size=(3, 5)).astype(field.dtype)
+    mat.flat[0] = 0
+    mat.flat[1] = 1
+    plane = rng.integers(0, field.size, size=(5, n)).astype(field.dtype)
+    fast = gf_plane_matmul(mat, plane, field)
+    monkeypatch.setattr(batch_mod, "_PAIR_VIEW_OK", False)
+    slow = gf_plane_matmul(mat, plane, field)
+    assert np.array_equal(slow, fast)
+    assert np.array_equal(slow, gf_matmul(mat, plane, field))
+
+
+def test_pair_view_gate_matches_host_byteorder():
+    import sys
+
+    import repro.gf.batch as batch_mod
+
+    assert batch_mod._PAIR_VIEW_OK == (sys.byteorder == "little")
+
+
+def test_pair_lut8_packing_is_explicitly_little_endian():
+    """lut[(hi << 8) | lo] == (c*hi) << 8 | (c*lo) — the documented packing
+    the uint16 view relies on (and the reason the gate exists)."""
+    field = GF(8)
+    c = 131
+    lut = scale_lut(field, c)
+    for lo, hi in [(0, 0), (1, 255), (254, 1), (77, 200)]:
+        packed = int(lut[(hi << 8) | lo])
+        assert packed == (field.mul(c, hi) << 8) | field.mul(c, lo)
+
+
 @pytest.mark.parametrize("w", [8, 16])
 @pytest.mark.parametrize("seed", SEEDS[:4])
 def test_batch_matmul_matches_per_stripe(w, seed):

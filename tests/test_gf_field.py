@@ -18,6 +18,21 @@ def test_singleton_cache():
     assert GF(16) is not GF(8)
 
 
+def test_invalid_w_does_not_poison_singleton_cache():
+    """Regression (ISSUE 9): GF.__new__ used to cache before __init__
+    validated ``w``, so one failed GF(5) call left a half-built object in
+    the singleton slot and every later GF(5) returned it — an object with
+    no tables that blew up at first use instead of at construction."""
+    from repro.gf.field import _FIELD_CACHE
+
+    for _ in range(2):  # the *second* call used to get the poisoned cache hit
+        with pytest.raises(ValueError, match="unsupported word size"):
+            GF(5)
+    assert 5 not in _FIELD_CACHE
+    # valid fields still cache normally afterwards
+    assert GF(8) is GF(8)
+
+
 # ------------------------------------------------------------------ #
 # field axioms (property-based)
 # ------------------------------------------------------------------ #

@@ -39,6 +39,7 @@ PUBLIC_MODULES = [
     "repro.ec",
     "repro.faults",
     "repro.gf",
+    "repro.gf.backend",
     "repro.obs",
     "repro.parallel",
     "repro.reliability",

@@ -18,6 +18,12 @@ uploaded:
   int/float/str/bool), ``metrics`` (non-empty dict of finite numbers);
 * at least one point carries a positive ``speedup_x`` metric — the whole
   reason the trajectory exists;
+* suite ``batched-multi-stripe-repair`` additionally reports the selected
+  GF kernel tier as a non-empty ``env.backend`` string, carries at least
+  one point with a positive ``decode_mbps`` metric, and — when a full-
+  fidelity (``env.smoke`` false) ``ec_codec.backend_native.gf8`` point is
+  present — holds the native tier's ``vs_numpy_x`` to the >= 5x
+  acceptance floor;
 * suite ``online-serving-plane`` additionally carries a
   ``serving.chunk_sweep`` point whose ``p99_ratio_c{chunks}`` metrics
   (at least two) fall strictly as ``chunks`` grows and never dip below
@@ -98,10 +104,54 @@ def check_doc(doc, errors):
     ]
     if not any(s > 0 for s in speedups):
         errors.append("no point carries a positive speedup_x metric")
+    if doc.get("suite") == "batched-multi-stripe-repair":
+        check_batch_backend(doc, points, errors)
     if doc.get("suite") == "online-serving-plane":
         check_chunk_sweep(points, errors)
     if doc.get("suite") == "reliability-simulator":
         check_reliability(doc, points, errors)
+
+
+#: full-fidelity floor for the native kernel tier vs the NumPy tier on
+#: the GF(2^8) backend point (mirrors benchmarks/bench_ec_codec.py).
+NATIVE_SPEEDUP_FLOOR = 5.0
+
+
+def check_batch_backend(doc, points, errors):
+    """The batch suite must name its kernel tier and pin its throughput."""
+    env = doc.get("env")
+    backend = env.get("backend") if isinstance(env, dict) else None
+    if not (isinstance(backend, str) and backend):
+        errors.append("batch suite env needs a non-empty 'backend' string")
+    numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)  # noqa: E731
+    mbps = [
+        p["metrics"]["decode_mbps"]
+        for p in points
+        if isinstance(p, dict)
+        and isinstance(p.get("metrics"), dict)
+        and numeric(p["metrics"].get("decode_mbps"))
+    ]
+    if not any(v > 0 for v in mbps):
+        errors.append("batch suite needs a point with a positive decode_mbps metric")
+    smoke = env.get("smoke") if isinstance(env, dict) else None
+    native = next(
+        (
+            p
+            for p in points
+            if isinstance(p, dict) and p.get("bench") == "ec_codec.backend_native.gf8"
+        ),
+        None,
+    )
+    if native is not None and smoke is False:
+        metrics = native.get("metrics")
+        ratio = metrics.get("vs_numpy_x") if isinstance(metrics, dict) else None
+        if not numeric(ratio):
+            errors.append("ec_codec.backend_native.gf8 needs a numeric vs_numpy_x")
+        elif ratio < NATIVE_SPEEDUP_FLOOR:
+            errors.append(
+                f"ec_codec.backend_native.gf8 vs_numpy_x ({ratio}) below the "
+                f"{NATIVE_SPEEDUP_FLOOR}x native-tier acceptance floor"
+            )
 
 
 def check_chunk_sweep(points, errors):
