@@ -69,6 +69,8 @@ from repro.parallel import ParallelRepairEngine, PipelineReport, WorkerPool
 from repro.faults import FaultInjector, FaultSchedule
 from repro.repair import BatchRepairEngine, PlanCache
 from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.simnet import NetworkTrace, as_network
+from repro.adaptive import AdaptiveConfig, AdaptiveEngine, AdaptiveReport, RangeJournal
 from repro.workload import ServeRequest, ServeResult, ServingPlane, WorkloadSpec
 from repro.reliability import (
     ReliabilityReport,
@@ -122,6 +124,12 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "Tracer",
+    "NetworkTrace",
+    "as_network",
+    "AdaptiveConfig",
+    "AdaptiveEngine",
+    "AdaptiveReport",
+    "RangeJournal",
     "ServeRequest",
     "ServeResult",
     "ServingPlane",

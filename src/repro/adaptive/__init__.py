@@ -1,0 +1,45 @@
+"""Adaptive repair under rapidly-changing networks.
+
+The static planners commit to helpers, a center and HMBR's split ratio
+once, at plan time.  This package re-plans *while the repair runs*: the
+:class:`AdaptiveEngine` watches observed per-flow rates at bandwidth-event
+boundaries, and when they drift past a threshold from the plan-time
+prediction it cuts the round, journals the volume that completed end to
+end (:class:`RangeJournal` — committed ranges are never re-sent), and
+re-solves the remaining volume against the current capacities, choosing
+among CR / IR / HMBR / MLF.  :class:`AdaptiveRuntime` executes the
+committed pieces through the coordinator's agents with a resumable
+:class:`~repro.repair.executor.ExecutionJournal` cursor.
+
+Entry points: ``Coordinator.repair(RepairRequest(adaptive=True,
+network=NetworkTrace...))``, or :class:`AdaptiveRuntime` directly.
+On a quiet network the whole machinery is a bit-exact no-op versus the
+static path.  See ``docs/ADAPTIVE.md``.
+"""
+
+from repro.adaptive.engine import (
+    ADAPTIVE_SCHEMES,
+    AdaptiveConfig,
+    AdaptiveEngine,
+    AdaptiveEntry,
+    AdaptivePiece,
+    AdaptiveReport,
+    AdaptiveRound,
+)
+from repro.adaptive.journal import CommittedRange, OverlapError, RangeJournal
+from repro.adaptive.runtime import AdaptiveRepairReport, AdaptiveRuntime
+
+__all__ = [
+    "ADAPTIVE_SCHEMES",
+    "AdaptiveConfig",
+    "AdaptiveEngine",
+    "AdaptiveEntry",
+    "AdaptivePiece",
+    "AdaptiveReport",
+    "AdaptiveRound",
+    "AdaptiveRepairReport",
+    "AdaptiveRuntime",
+    "CommittedRange",
+    "OverlapError",
+    "RangeJournal",
+]

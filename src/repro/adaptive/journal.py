@@ -1,0 +1,108 @@
+"""Fraction-range commit journal for adaptive re-planned repairs.
+
+The adaptive engine (:mod:`repro.adaptive.engine`) repairs each failed
+block as a sequence of *pieces* — word-aligned fraction ranges of the
+block, each moved by whichever scheme the round that committed it was
+running.  :class:`RangeJournal` is the ledger of those commitments: a
+range may be committed exactly once per stripe, so re-planning the
+remaining volume can never schedule bytes that already moved.  The data
+plane (:mod:`repro.adaptive.runtime`) replays only journaled pieces,
+which is what makes the never-re-transfer property checkable instead of
+hoped-for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: float tolerance for range-boundary comparisons; adjacent pieces share
+#: their cut point bit-exactly (the engine threads the same float), so
+#: anything past this is a genuine overlap, not rounding.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class CommittedRange:
+    """One journaled piece: ``[lo, hi)`` of every affected block of ``key``."""
+
+    key: str
+    lo: float
+    hi: float
+    round_index: int
+    scheme: str
+    piece_id: str
+
+    @property
+    def width(self) -> float:
+        """Fraction of the block this piece covers."""
+        return self.hi - self.lo
+
+
+class OverlapError(RuntimeError):
+    """A commit would re-cover bytes an earlier round already moved."""
+
+
+class RangeJournal:
+    """Per-key ledger of committed fraction ranges.
+
+    Keys are stripe labels (``s0007``); every committed range must be
+    disjoint from the key's earlier commitments.  The journal answers the
+    two questions the engine and its tests care about: *how much* of each
+    stripe is already moved (:meth:`covered`) and *whether the pieces tile
+    the whole block* (:meth:`is_complete`).
+    """
+
+    def __init__(self) -> None:
+        self._ranges: dict[str, list[CommittedRange]] = {}
+
+    def commit(
+        self,
+        key: str,
+        lo: float,
+        hi: float,
+        *,
+        round_index: int,
+        scheme: str,
+        piece_id: str,
+    ) -> CommittedRange:
+        """Record ``[lo, hi)`` as moved; reject any overlap with history."""
+        if not (0.0 - _EPS <= lo <= hi <= 1.0 + _EPS):
+            raise ValueError(f"range [{lo}, {hi}) outside [0, 1]")
+        if hi - lo <= _EPS:
+            raise ValueError(f"range [{lo}, {hi}) is empty")
+        for prev in self._ranges.get(key, ()):
+            if lo < prev.hi - _EPS and prev.lo < hi - _EPS:
+                raise OverlapError(
+                    f"{key}: [{lo:.6f}, {hi:.6f}) overlaps already-committed "
+                    f"[{prev.lo:.6f}, {prev.hi:.6f}) ({prev.piece_id})"
+                )
+        rng = CommittedRange(
+            key=key, lo=lo, hi=hi,
+            round_index=round_index, scheme=scheme, piece_id=piece_id,
+        )
+        self._ranges.setdefault(key, []).append(rng)
+        return rng
+
+    def keys(self) -> list[str]:
+        """Every key with at least one committed range, sorted."""
+        return sorted(self._ranges)
+
+    def ranges(self, key: str) -> list[CommittedRange]:
+        """The key's committed ranges, sorted by their low endpoint."""
+        return sorted(self._ranges.get(key, []), key=lambda r: (r.lo, r.hi))
+
+    def covered(self, key: str) -> float:
+        """Total committed fraction for ``key`` (disjointness is enforced)."""
+        return sum(r.width for r in self._ranges.get(key, ()))
+
+    def is_complete(self, key: str, tol: float = 1e-9) -> bool:
+        """Whether the key's pieces tile ``[0, 1)`` with no gap."""
+        ranges = self.ranges(key)
+        if not ranges:
+            return False
+        cursor = 0.0
+        for r in ranges:
+            if abs(r.lo - cursor) > tol:
+                return False
+            cursor = r.hi
+        return abs(cursor - 1.0) <= tol

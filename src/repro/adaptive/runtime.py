@@ -1,0 +1,235 @@
+"""Coordinator-coupled data plane for adaptive repairs.
+
+:class:`AdaptiveRuntime` is the bridge between the timing-only
+:class:`~repro.adaptive.engine.AdaptiveEngine` and the coordinator's
+agents: it runs the *exact* planning phase of a static healthy round
+(same spare assignment, same center-scheduler picks, same common HMBR
+split), hands the resulting plans to the engine for drift-triggered
+re-planning, then executes each journaled piece's GF/transfer ops
+exactly once through the agents — resumable via the fault runtime's
+:class:`~repro.repair.executor.ExecutionJournal` cursor, so an
+interrupted data plane never re-sends bytes it already moved.
+
+Every failed block is finally assembled from its pieces with one
+:class:`~repro.repair.plan.ConcatOp` (pieces are word-aligned fraction
+ranges, so concatenation is exact), stored, and — when ``verify`` is on
+— checked bit-for-bit against the stripe's parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.adaptive.engine import (
+    ADAPTIVE_SCHEMES,
+    AdaptiveConfig,
+    AdaptiveEngine,
+    AdaptiveEntry,
+    AdaptiveReport,
+)
+from repro.ec.stripe import block_name
+from repro.repair._build import repaired_name
+from repro.repair.executor import ExecutionJournal
+from repro.repair.plan import ConcatOp
+from repro.simnet.network import as_network
+from repro.system.agent import run_plan_ops
+
+
+@dataclass
+class AdaptiveRepairReport:
+    """A full adaptive repair: engine timing report + data-plane facts."""
+
+    scheme: str
+    dead_nodes: list[int]
+    stripes_repaired: list[int]
+    blocks_recovered: int
+    #: simulated landing instant of the last committed piece.
+    simulated_transfer_s: float
+    compute_s_total: float
+    compute_s_critical: float
+    bytes_on_wire_mb_model: float
+    per_stripe_transfer_s: dict[int, float]
+    replacements: dict[int, int]
+    #: planning rounds run (1 = no drift, static behavior).
+    rounds: int
+    replans: int
+    wasted_mb: float
+    #: committed pieces per stripe (1 everywhere on a quiet network).
+    pieces_per_stripe: dict[int, int] = dc_field(default_factory=dict)
+    #: the engine's full timing report (rounds, journal, pieces).
+    engine: AdaptiveReport | None = None
+
+
+class AdaptiveRuntime:
+    """Run one adaptive repair round against a coordinator.
+
+    ``network`` is anything :func:`repro.simnet.network.as_network`
+    accepts (a :class:`~repro.simnet.network.NetworkTrace`, a bare event
+    iterable, or ``None`` for quiet).  ``config`` tunes the engine; see
+    :class:`~repro.adaptive.engine.AdaptiveConfig`.
+    """
+
+    def __init__(self, coord, *, network=None, config: AdaptiveConfig | None = None):
+        self.coord = coord
+        self.network = as_network(network)
+        self.config = config or AdaptiveConfig()
+        #: stripe id -> resumable data-plane cursor (the never-re-send ledger).
+        self.journals: dict[int, ExecutionJournal] = {}
+
+    def repair(self, scheme: str = "hmbr", *, verify: bool = True) -> AdaptiveRepairReport:
+        """One adaptive repair round; returns the combined report."""
+        coord = self.coord
+        if scheme not in ADAPTIVE_SCHEMES:
+            raise ValueError(
+                f"adaptive repair supports {ADAPTIVE_SCHEMES}, not {scheme!r}"
+            )
+        dead = coord.cluster.dead_ids()
+        affected = coord.layout.stripes_with_failures(dead)
+        if not affected:
+            return AdaptiveRepairReport(
+                scheme=scheme, dead_nodes=dead, stripes_repaired=[],
+                blocks_recovered=0, simulated_transfer_s=0.0,
+                compute_s_total=0.0, compute_s_critical=0.0,
+                bytes_on_wire_mb_model=0.0, per_stripe_transfer_s={},
+                replacements={}, rounds=0, replans=0, wasted_mb=0.0,
+            )
+        events = self.network.events_for(coord.cluster)
+
+        obs = coord.obs
+        root = None
+        if obs is not None:
+            root = obs.tracer.begin(
+                "repair.adaptive", actor="coordinator", cat="repair",
+                scheme=scheme, dead_nodes=list(dead), stripes=sorted(affected),
+                quiet=not events, drift_threshold=self.config.drift_threshold,
+            )
+        try:
+            # ---- planning: byte-identical to the static healthy round
+            dead_with_blocks = coord._dead_with_blocks(affected)
+            free_spares = coord._free_spares()
+            if len(dead_with_blocks) > len(free_spares):
+                raise RuntimeError(
+                    f"{len(dead_with_blocks)} dead nodes but only "
+                    f"{len(free_spares)} free spares"
+                )
+            replacement_of = coord._assign_spares(dead_with_blocks, free_spares)
+            stripes = {s.stripe_id: s for s in coord.layout}
+            work = coord._build_work(affected, replacement_of)
+            common_p = coord._common_hmbr_split(work) if scheme == "hmbr" else None
+            plans = coord._plan_work(work, scheme, common_p)
+
+            entries = [
+                AdaptiveEntry(key=f"s{sid:04d}", ctx=ctx, scheme=scheme, plan=plan)
+                for sid, plan, ctx in plans
+            ]
+            sid_of = {f"s{sid:04d}": sid for sid, _, _ in plans}
+            ctx_of = {f"s{sid:04d}": ctx for sid, _, ctx in plans}
+
+            # ---- timing plane: drift-watched rounds over the event trace
+            engine = AdaptiveEngine(
+                coord.cluster, events=events, config=self.config, obs=obs
+            )
+            engine_report = engine.run(entries)
+
+            # ---- data plane: each journaled piece's ops run exactly once
+            compute_before = {i: a.compute_seconds for i, a in coord.agents.items()}
+            for key in sorted(engine_report.pieces):
+                self._execute_key(
+                    key, sid_of[key], ctx_of[key], engine_report, stripes, verify
+                )
+            for agent in coord.agents.values():
+                agent.clear_scratch()
+        finally:
+            if root is not None:
+                obs.tracer.unwind(root)
+
+        compute_by_node = {
+            i: a.compute_seconds - compute_before[i]
+            for i, a in coord.agents.items()
+        }
+        report = AdaptiveRepairReport(
+            scheme=scheme,
+            dead_nodes=dead,
+            stripes_repaired=sorted(affected),
+            blocks_recovered=sum(len(f) for f in affected.values()),
+            simulated_transfer_s=engine_report.makespan_s,
+            compute_s_total=sum(compute_by_node.values()),
+            compute_s_critical=max(compute_by_node.values(), default=0.0),
+            bytes_on_wire_mb_model=engine_report.bytes_on_wire_mb_model,
+            per_stripe_transfer_s={
+                sid_of[k]: t for k, t in engine_report.finish_s.items()
+            },
+            replacements=replacement_of,
+            rounds=engine_report.n_rounds,
+            replans=engine_report.replans,
+            wasted_mb=engine_report.wasted_mb,
+            pieces_per_stripe={
+                sid_of[k]: len(ps) for k, ps in engine_report.pieces.items()
+            },
+            engine=engine_report,
+        )
+        if obs is not None:
+            m = obs.metrics
+            m.counter("repair.runs").inc()
+            m.counter("repair.blocks_recovered").inc(report.blocks_recovered)
+            m.gauge("repair.simulated_transfer_s").set(report.simulated_transfer_s)
+            m.gauge("adaptive.pieces").set(
+                sum(report.pieces_per_stripe.values())
+            )
+        return report
+
+    # ------------------------------------------------------------------ #
+    def assemble_ops(self, key: str, ctx, engine_report: AdaptiveReport):
+        """The key's full data-plane op list: piece ops + final concats.
+
+        A single whole-range piece (the quiet-network case) is passed
+        through untouched, so the executed ops — and therefore the stored
+        bytes and buffer names — are identical to the static path's.
+        """
+        pieces = engine_report.pieces[key]
+        if not engine_report.journal.is_complete(key):
+            raise RuntimeError(f"{key}: committed pieces do not tile [0, 1)")
+        ops = [op for piece in pieces for op in piece.ops]
+        if len(pieces) == 1:
+            return ops, dict(pieces[0].outputs)
+        ordered = sorted(pieces, key=lambda p: p.lo)
+        outputs: dict[int, tuple[int, str]] = {}
+        for fb in ctx.failed_blocks:
+            nodes = {p.outputs[fb][0] for p in ordered}
+            if len(nodes) != 1:
+                raise AssertionError(
+                    f"{key}: pieces disagree on block {fb}'s new node: {nodes}"
+                )
+            node = nodes.pop()
+            out = repaired_name(ctx.prefix("a"), fb)
+            ops.append(ConcatOp(node, out, tuple(p.outputs[fb][1] for p in ordered)))
+            outputs[fb] = (node, out)
+        return ops, outputs
+
+    def _execute_key(self, key, sid, ctx, engine_report, stripes, verify) -> None:
+        """Run one stripe's assembled ops through the agents and commit."""
+        coord = self.coord
+        obs = coord.obs
+        ops, outputs = self.assemble_ops(key, ctx, engine_report)
+        journal = self.journals.setdefault(sid, ExecutionJournal())
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                f"adaptive.stripe:{sid}", actor="coordinator", cat="repair",
+                stripe=sid, ops=len(ops),
+                pieces=len(engine_report.pieces[key]),
+                resumed_at=journal.completed,
+            )
+        try:
+            run_plan_ops(ops, coord.agents, coord.bus, journal=journal)
+            for fb, (node, buf) in outputs.items():
+                agent = coord.agents[node]
+                agent.store_block(
+                    block_name(sid, fb), agent.scratch[buf], overwrite=True
+                )
+                stripes[sid].placement[fb] = node
+            if verify:
+                coord._verify_stripe(sid)
+        finally:
+            if span is not None:
+                obs.tracer.unwind(span)

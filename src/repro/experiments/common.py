@@ -15,6 +15,7 @@ from repro.repair.centralized import plan_centralized
 from repro.repair.context import RepairContext
 from repro.repair.hybrid import plan_hybrid
 from repro.repair.independent import plan_independent
+from repro.repair.mlf import plan_mlf
 from repro.repair.plan import RepairPlan
 from repro.repair.rackaware import (
     plan_rack_aware_centralized,
@@ -27,6 +28,7 @@ SCHEMES = {
     "cr": lambda ctx, **kw: plan_centralized(ctx, **kw),
     "ir": lambda ctx, **kw: plan_independent(ctx, **kw),
     "hmbr": lambda ctx, **kw: plan_hybrid(ctx, **kw),
+    "mlf": lambda ctx, **kw: plan_mlf(ctx, **kw),
     "rack-cr": lambda ctx, **kw: plan_rack_aware_centralized(ctx, **kw),
     "tree-ir": lambda ctx, **kw: plan_tree_independent(ctx, **kw),
     "rack-hmbr": lambda ctx, **kw: plan_rack_aware_hybrid(ctx, **kw),

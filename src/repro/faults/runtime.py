@@ -506,7 +506,16 @@ class FaultRuntime:
                     committed.append((sid, plan))
         return committed
 
-    def repair(self, scheme: str = "hmbr", verify: bool = True) -> FaultRepairReport:
+    def repair(
+        self, scheme: str = "hmbr", verify: bool = True, events=()
+    ) -> FaultRepairReport:
+        """Repair every affected stripe to completion under the injector.
+
+        ``events`` (:class:`~repro.simnet.dynamic.BandwidthEvent`\\ s,
+        usually from a :class:`~repro.simnet.network.NetworkTrace`)
+        perturb the final timing-plane simulation; the journaled data
+        plane and the repaired bytes are unaffected.
+        """
         coord = self.coord
         injector = self.injector
         from repro.system.coordinator import _PLANNERS
@@ -594,6 +603,7 @@ class FaultRuntime:
         if sim_tasks:
             sim = FluidSimulator(coord.cluster).run(
                 sim_tasks,
+                events=list(events),
                 tracer=obs.tracer if obs is not None else None,
                 trace_label="simulate",
             )

@@ -28,6 +28,7 @@ from repro.repair.model import (
 from repro.repair.centralized import plan_centralized
 from repro.repair.independent import plan_independent
 from repro.repair.hybrid import plan_hybrid
+from repro.repair.mlf import plan_mlf
 from repro.repair.rackaware import (
     plan_rack_aware_centralized,
     plan_tree_independent,
@@ -75,6 +76,7 @@ __all__ = [
     "plan_centralized",
     "plan_independent",
     "plan_hybrid",
+    "plan_mlf",
     "plan_rack_aware_centralized",
     "plan_tree_independent",
     "plan_rack_aware_hybrid",

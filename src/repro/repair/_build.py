@@ -89,6 +89,126 @@ def add_centralized(
     return tasks, ops, outputs
 
 
+def mlf_children(k: int, degree: int) -> dict[int, list[int]]:
+    """Heap-layout children map of a complete ``degree``-ary tree on 0..k-1."""
+    if degree < 2:
+        raise ValueError("tree degree must be >= 2")
+    return {
+        p: [c for c in range(degree * p + 1, degree * p + degree + 1) if c < k]
+        for p in range(k)
+    }
+
+
+def add_multilevel(
+    ctx: RepairContext,
+    prefix: str,
+    frac_start: float,
+    frac_stop: float,
+    degree: int | None = None,
+    order: str = "uplink-desc",
+) -> tuple[list[Task], list[Op], dict[int, tuple[int, str]]]:
+    """Multi-level forwarding repair (MLF): one shared aggregation tree.
+
+    The k survivors form a complete ``degree``-ary tree (heap layout).  Each
+    node scales its own sub-block by its repair coefficients, XOR-merges the
+    partials arriving from its children, and forwards the f running partials
+    to its parent in one burst; the root ends up holding all f decoded
+    sub-blocks and sends each to its new node.  Compared to CR no single
+    downlink takes k transfers, and compared to IR no survivor's position in
+    a long chain gates the finish — levels aggregate in parallel, which is
+    what the rapidly-changing-network paper exploits.
+
+    ``order`` places survivors into tree positions: ``"uplink-desc"`` puts
+    fast uploaders near the root (they carry aggregated traffic),
+    ``"index"`` keeps block order.  ``degree=None`` picks ~sqrt(k), which
+    balances tree depth against root fan-in.
+    """
+    frac = frac_stop - frac_start
+    if frac < 0:
+        raise ValueError("empty fraction range")
+    size = frac * ctx.block_size_mb
+    survivors = ctx.chosen_survivors()
+    rmat = np.asarray(ctx.repair_matrix())
+    col_of_block = {b: i for i, b in enumerate(survivors)}
+    sid = ctx.stripe.stripe_id
+    k = len(survivors)
+    if degree is None:
+        degree = max(2, int(round(np.sqrt(k))))
+    if order == "index":
+        blocks = list(survivors)
+    elif order == "uplink-desc":
+        blocks = sorted(
+            survivors,
+            key=lambda b: (-ctx.cluster[ctx.stripe.placement[b]].uplink, b),
+        )
+    else:
+        raise ValueError(f"unknown mlf order {order!r}")
+    node_of_pos = [ctx.stripe.placement[b] for b in blocks]
+    children = mlf_children(k, degree)
+
+    tasks: list[Task] = []
+    ops: list[Op] = []
+    outputs: dict[int, tuple[int, str]] = {}
+
+    def edge_id(pos: int) -> str:
+        return f"{prefix}:agg:v{pos:02d}"
+
+    def partial_name(fb: int, pos: int) -> str:
+        return f"{prefix}/p{fb:02d}/v{pos:02d}"
+
+    # bottom-up so every child partial exists before its parent combines
+    for pos in reversed(range(k)):
+        node = node_of_pos[pos]
+        b = blocks[pos]
+        sname = _slice_name(prefix, b)
+        ops.append(SliceOp(node, sname, block_name(sid, b), frac_start, frac_stop))
+        coeff = rmat[:, col_of_block[b]]
+        for row, fb in enumerate(ctx.failed_blocks):
+            partial = partial_name(fb, pos)
+            kids = children[pos]
+            ops.append(
+                CombineOp(
+                    node=node,
+                    out=partial,
+                    coeffs=(int(coeff[row]),) + (1,) * len(kids),
+                    srcs=(sname,) + tuple(partial_name(fb, c) for c in kids),
+                )
+            )
+        child_edges = tuple(edge_id(c) for c in children[pos])
+        if pos > 0:
+            parent_node = node_of_pos[(pos - 1) // degree]
+            for fb in ctx.failed_blocks:
+                ops.append(TransferOp(node, parent_node, partial_name(fb, pos)))
+            tasks.append(
+                Flow(
+                    edge_id(pos),
+                    src=node,
+                    dst=parent_node,
+                    size_mb=ctx.f * size,
+                    deps=child_edges,
+                    tag=f"{prefix}:agg",
+                )
+            )
+        else:
+            # the root's partials are the decoded sub-blocks
+            for fb in ctx.failed_blocks:
+                out = repaired_name(prefix, fb)
+                target = ctx.new_node_of(fb)
+                ops.append(TransferOp(node, target, partial_name(fb, pos), rename=out))
+                tasks.append(
+                    Flow(
+                        f"{prefix}:dist:b{fb:02d}",
+                        src=node,
+                        dst=target,
+                        size_mb=size,
+                        deps=child_edges,
+                        tag=f"{prefix}:dist",
+                    )
+                )
+                outputs[fb] = (target, out)
+    return tasks, ops, outputs
+
+
 def add_independent(
     ctx: RepairContext,
     prefix: str,

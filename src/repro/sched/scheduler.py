@@ -177,6 +177,7 @@ class RepairScheduler:
         *,
         verify: bool = True,
         faults=None,
+        network=None,
         events=(),
         workers: int = 1,
         batched: bool = False,
@@ -196,8 +197,10 @@ class RepairScheduler:
         ``faults`` (a :class:`~repro.faults.schedule.FaultSchedule` or
         prepared :class:`~repro.faults.injector.FaultInjector`) routes each
         job's data plane through the fault runtime's journal/backoff/replan
-        machinery.  ``events`` are :class:`~repro.simnet.dynamic.
-        BandwidthEvent`\\ s on the scheduler-global clock.
+        machinery.  ``network`` (anything :func:`~repro.simnet.network.
+        as_network` accepts) supplies bandwidth events on the
+        scheduler-global clock; the legacy ``events=`` keyword still works
+        but emits a :class:`DeprecationWarning`.
 
         ``batched=True`` runs each healthy job's data plane through the
         pattern-grouped batch engine; ``workers > 1`` (implies batching)
@@ -220,6 +223,20 @@ class RepairScheduler:
             raise ValueError(f"workers must be >= 1, got {workers}")
         batched = batched or workers > 1
         coord = self.coord
+        from repro.simnet.network import as_network
+
+        if events:
+            from repro.system.request import warn_legacy
+
+            if network is not None:
+                raise ValueError("pass network= or the legacy events=, not both")
+            warn_legacy(
+                "RepairScheduler.run_pending(events=...)",
+                "run_pending(network=NetworkTrace.from_events(...))",
+            )
+            events = list(events)
+        else:
+            events = as_network(network).events_for(coord.cluster)
         obs = coord.obs
         run = list(self._queue)
         self._queue.clear()

@@ -19,6 +19,7 @@ from repro.simnet.fluid import FluidSimulator, SimulationResult
 from repro.simnet.slicesim import simulate_pipeline_slices
 from repro.simnet.static import StaticShareEvaluator, StaticResult
 from repro.simnet.dynamic import BandwidthEvent, degrade_nodes
+from repro.simnet.network import NetworkTrace, as_network, cluster_at
 from repro.simnet.trace import bottleneck_report, node_throughput_timeline, peak_utilization
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "StaticResult",
     "BandwidthEvent",
     "degrade_nodes",
+    "NetworkTrace",
+    "as_network",
+    "cluster_at",
     "bottleneck_report",
     "node_throughput_timeline",
     "peak_utilization",

@@ -48,20 +48,15 @@ class BandwidthEvent:
 def degrade_nodes(
     nodes: list[int], at_time: float, factor: float, cluster
 ) -> list[BandwidthEvent]:
-    """Convenience: divide the listed nodes' link rates by ``factor``."""
-    if factor <= 0:
-        raise ValueError("factor must be positive")
-    events = []
-    for n in nodes:
-        node = cluster[n]
-        events.append(
-            BandwidthEvent(
-                time=at_time,
-                node=n,
-                uplink=node.uplink / factor,
-                downlink=node.downlink / factor,
-                cross_uplink=None if node.cross_uplink is None else node.cross_uplink / factor,
-                cross_downlink=None if node.cross_downlink is None else node.cross_downlink / factor,
-            )
-        )
-    return events
+    """Deprecated shim: use :meth:`repro.simnet.network.NetworkTrace.degrade`.
+
+    Routes bit-exact through the facade (same events, same order).
+    """
+    from repro.simnet.network import NetworkTrace
+    from repro.system.request import warn_legacy
+
+    warn_legacy(
+        "degrade_nodes(nodes, at_time, factor, cluster)",
+        "NetworkTrace.degrade(nodes, at_time=..., factor=...).events_for(cluster)",
+    )
+    return NetworkTrace.degrade(nodes, at_time=at_time, factor=factor).events_for(cluster)

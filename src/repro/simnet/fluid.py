@@ -37,6 +37,9 @@ class SimulationResult:
     #: optional rate timeline: list of (t_start, t_end, {flow id: MB/s}),
     #: populated when run(..., record_trace=True)
     trace: list[tuple[float, float, dict[str, float]]] | None = None
+    #: unfinished volume (MB, or seconds for delays) per task id when the
+    #: run was truncated by ``horizon_s``; empty for complete runs
+    remaining_mb: dict[str, float] = field(default_factory=dict)
 
     def finish_of(self, tag: str) -> float:
         """Latest finish time among tasks in the ``tag`` namespace.
@@ -289,6 +292,7 @@ class FluidSimulator:
         record_trace: bool = False,
         tracer=None,
         trace_label: str = "simulate",
+        horizon_s: float | None = None,
     ) -> SimulationResult:
         """Simulate all tasks; returns completion times and traffic stats.
 
@@ -297,6 +301,11 @@ class FluidSimulator:
         each event boundary (dynamic workloads, §VII of the paper).
         ``record_trace`` keeps the piecewise-constant rate timeline for
         post-hoc analysis (see :mod:`repro.simnet.trace`).
+
+        ``horizon_s`` truncates the run at the given simulated time: the
+        state integrated so far is returned with the unfinished volume per
+        task in :attr:`SimulationResult.remaining_mb` (the adaptive engine
+        uses this to measure progress up to a re-plan boundary).
 
         ``tracer`` (a :class:`repro.obs.Tracer`) records the simulated
         timeline post-hoc as sim-domain spans: one root span named
@@ -373,6 +382,8 @@ class FluidSimulator:
                     cross_rack_mb += t.size_mb
 
         while active:
+            if horizon_s is not None and now >= horizon_s - _EPS:
+                break
             # apply any bandwidth events that are due
             while next_event < len(pending_events) and pending_events[next_event].time <= now + _EPS:
                 event = pending_events[next_event]
@@ -423,9 +434,11 @@ class FluidSimulator:
                     dt = min(dt, remaining[tid] / r)
             if not math.isfinite(dt):
                 raise AssertionError("deadlock: active flows but no progress possible")
-            # never integrate past the next bandwidth event
+            # never integrate past the next bandwidth event or the horizon
             if next_event < len(pending_events):
                 dt = min(dt, max(pending_events[next_event].time - now, _EPS))
+            if horizon_s is not None:
+                dt = min(dt, max(horizon_s - now, _EPS))
             if trace is not None:
                 trace.append((now, now + dt, dict(rates)))
             # advance
@@ -439,7 +452,7 @@ class FluidSimulator:
                     remaining[tid] = 0.0
             now += dt
 
-        if len(finish_times) != len(by_id):
+        if horizon_s is None and len(finish_times) != len(by_id):
             raise AssertionError("simulation ended with unscheduled tasks (dependency cycle?)")
 
         if tracer is not None:
@@ -454,4 +467,9 @@ class FluidSimulator:
             cross_rack_mb=cross_rack_mb,
             n_rate_updates=n_updates,
             trace=trace,
+            remaining_mb=(
+                {tid: remaining[tid] for tid in by_id if tid not in finish_times}
+                if horizon_s is not None
+                else {}
+            ),
         )

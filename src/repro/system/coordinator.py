@@ -41,6 +41,7 @@ from repro.repair.centralized import plan_centralized
 from repro.repair.context import RepairContext
 from repro.repair.hybrid import plan_hybrid
 from repro.repair.independent import plan_independent
+from repro.repair.mlf import plan_mlf
 from repro.repair.multinode import CenterScheduler
 from repro.repair.plan import RepairPlan
 from repro.repair.rackaware import plan_rack_aware_hybrid
@@ -55,6 +56,7 @@ _PLANNERS = {
     "cr": lambda ctx, center: plan_centralized(ctx, center=center),
     "ir": lambda ctx, center: plan_independent(ctx),
     "hmbr": lambda ctx, center: plan_hybrid(ctx, center=center),
+    "mlf": lambda ctx, center: plan_mlf(ctx),
     "rack-hmbr": lambda ctx, center: plan_rack_aware_hybrid(ctx, center=center),
 }
 
@@ -324,6 +326,7 @@ class Coordinator:
             decode_mbps=request.decode_mbps,
             chunks=request.chunks,
             fast_path=request.fast_path,
+            network=request.network,
         )
         return plane.run(repair=request.repair)
 
@@ -410,8 +413,16 @@ class Coordinator:
         if req.needs_scheduler():
             return self._repair_request_many([req])
         bytes_before = self.bus.total_bytes()
+        if req.adaptive:
+            report = self._repair_adaptive(req)
+            return RepairResult.from_adaptive(
+                report, req, self.bus.total_bytes() - bytes_before
+            )
+        from repro.simnet.network import as_network
+
+        events = as_network(req.network).events_for(self.cluster)
         if req.faults is not None:
-            report = self._repair_faulted(req)
+            report = self._repair_faulted(req, events=events)
             return RepairResult.from_fault(
                 report, req, self.bus.total_bytes() - bytes_before
             )
@@ -420,10 +431,34 @@ class Coordinator:
             req.verify,
             req.batched or req.workers > 1,
             workers=req.workers,
+            events=events,
+            predict_network=req.predict_network,
         )
         return RepairResult.from_report(
             report, req, self.bus.total_bytes() - bytes_before
         )
+
+    def _repair_adaptive(self, req: RepairRequest):
+        """The adaptive route: drift-watched re-planning rounds.
+
+        Planning (spares, centers, common HMBR split) is byte-identical
+        to the static round; the :class:`~repro.adaptive.runtime.
+        AdaptiveRuntime` then re-plans the remaining volume whenever the
+        request's network trace makes observed flow rates drift past
+        ``req.drift_threshold``.  On a quiet trace this degenerates to
+        exactly one static round (bit-exact, same makespan).
+        """
+        from repro.adaptive import AdaptiveConfig, AdaptiveRuntime
+
+        runtime = AdaptiveRuntime(
+            self,
+            network=req.network,
+            config=AdaptiveConfig(
+                drift_threshold=req.drift_threshold,
+                max_replans=req.max_replans,
+            ),
+        )
+        return runtime.repair(scheme=req.scheme, verify=req.verify)
 
     def _repair_request_many(self, reqs: list[RepairRequest]) -> RepairResult:
         """Run requests as scheduler jobs sharing one admission queue.
@@ -437,6 +472,11 @@ class Coordinator:
         faulted = [r for r in reqs if r.faults is not None]
         if len(faulted) > 1:
             raise ValueError("at most one request per run may carry faults")
+        nets = [r.network for r in reqs if r.network is not None]
+        if any(n != nets[0] for n in nets[1:]):
+            raise ValueError(
+                "requests in one scheduled run must share a network trace"
+            )
         bytes_before = self.bus.total_bytes()
         compute_before = sum(a.compute_seconds for a in self.agents.values())
         for r in reqs:
@@ -451,6 +491,7 @@ class Coordinator:
         report = self.sched.run_pending(
             verify=all(r.verify for r in reqs),
             faults=faulted[0].faults if faulted else None,
+            network=nets[0] if nets else None,
             workers=workers,
             batched=any(r.batched for r in reqs) or workers > 1,
         )
@@ -462,7 +503,7 @@ class Coordinator:
             - compute_before,
         )
 
-    def _repair_faulted(self, req: RepairRequest):
+    def _repair_faulted(self, req: RepairRequest, events=()):
         """The fault-runtime route (journaled retries; see docs/FAULTS.md)."""
         from repro.faults.injector import FaultInjector
         from repro.faults.runtime import DEFAULT_MAX_BACKOFF_S, FaultRuntime
@@ -489,7 +530,7 @@ class Coordinator:
             backoff_jitter=req.backoff_jitter,
             backoff_seed=req.backoff_seed,
         )
-        return runtime.repair(scheme=req.scheme, verify=req.verify)
+        return runtime.repair(scheme=req.scheme, verify=req.verify, events=events)
 
     def _repair_round(
         self,
@@ -497,8 +538,17 @@ class Coordinator:
         verify: bool = True,
         batched: bool = False,
         workers: int = 1,
+        events=(),
+        predict_network: bool = False,
     ) -> RepairReport:
         """One healthy repair round (the pre-request ``repair`` body).
+
+        ``events`` (:class:`~repro.simnet.dynamic.BandwidthEvent`\\ s,
+        usually materialized from a :class:`~repro.simnet.network.
+        NetworkTrace`) perturb the timing simulation; the repaired bytes
+        are unaffected.  ``predict_network=True`` additionally makes the
+        common HMBR split dynamics-aware — searched against the event
+        trajectory instead of the plan-time snapshot.
 
         New nodes are drawn from the spare pool (one replacement per dead
         node).  Repairs of different stripes run in parallel: their plans are
@@ -557,7 +607,13 @@ class Coordinator:
             # For HMBR with several stripes repairing in parallel, a per-stripe
             # split is miscalibrated (it ignores the other stripes on the same
             # links); search one common p over the merged task graph instead.
-            common_p = self._common_hmbr_split(work) if scheme == "hmbr" else None
+            common_p = (
+                self._common_hmbr_split(
+                    work, events=events if predict_network else ()
+                )
+                if scheme == "hmbr"
+                else None
+            )
 
             all_tasks = []
             plans = self._plan_work(work, scheme, common_p)
@@ -591,7 +647,9 @@ class Coordinator:
 
             # ---- timing plane: simulate all plans together
             sim = FluidSimulator(self.cluster).run(
-                all_tasks, tracer=obs.tracer if obs is not None else None,
+                all_tasks,
+                events=list(events),
+                tracer=obs.tracer if obs is not None else None,
             )
             per_stripe = {}
             for sid, plan, _ in plans:
@@ -642,8 +700,14 @@ class Coordinator:
         *,
         stripes=None,
         commit: bool = False,
+        network=None,
     ) -> RepairTiming:
         """Plan and time a repair round without moving a byte.
+
+        ``network`` (anything :func:`repro.simnet.network.as_network`
+        accepts) perturbs the timing simulation with its bandwidth
+        events, so the fast path can answer "how long under *this*
+        churn"; plans and placements are unaffected.
 
         The **stripe-metadata-only fast path**: runs the exact planning
         pipeline of :meth:`repair` — spare assignment, LFS/LRS center
@@ -704,7 +768,11 @@ class Coordinator:
             common_p = self._common_hmbr_split(work) if scheme == "hmbr" else None
             plans = self._plan_work(work, scheme, common_p)
             all_tasks = [t for _, p, _ in plans for t in p.tasks]
-            sim = FluidSimulator(self.cluster).run(all_tasks)
+            from repro.simnet.network import as_network
+
+            sim = FluidSimulator(self.cluster).run(
+                all_tasks, events=as_network(network).events_for(self.cluster)
+            )
             per_stripe = {
                 sid: max(sim.finish_times[t.task_id] for t in plan.tasks)
                 for sid, plan, _ in plans
@@ -872,12 +940,14 @@ class Coordinator:
         return work
 
     def _common_hmbr_split(
-        self, work: list[tuple[int, RepairContext, int]]
+        self, work: list[tuple[int, RepairContext, int]], events=()
     ) -> float | None:
         """One shared HMBR split ratio over all stripes of a round (§IV-C).
 
         Returns ``None`` for fewer than two stripes (the per-stripe split is
-        already exact there).
+        already exact there).  ``events`` makes the search dynamics-aware:
+        candidate splits are scored against the bandwidth-event trajectory
+        instead of the plan-time snapshot (``predict_network=True``).
         """
         if len(work) < 2:
             return None
@@ -894,7 +964,9 @@ class Coordinator:
             cr_all.extend(cr_t)
             ir_all.extend(ir_t)
         common_p, _ = search_split(
-            lambda q: scaled_split_tasks(cr_all, ir_all, q), self.cluster
+            lambda q: scaled_split_tasks(cr_all, ir_all, q),
+            self.cluster,
+            events=events,
         )
         return common_p
 
@@ -1006,7 +1078,10 @@ class Coordinator:
             "Coordinator.run_pending(...)",
             "Coordinator.repair([RepairRequest(...), ...])",
         )
-        return self.sched.run_pending(verify=verify, faults=faults, events=events)
+        from repro.simnet.network import NetworkTrace
+
+        network = NetworkTrace.from_events(events) if events else None
+        return self.sched.run_pending(verify=verify, faults=faults, network=network)
 
     def repair_with_faults(
         self,

@@ -29,7 +29,9 @@ import warnings
 from dataclasses import dataclass, field as dc_field
 from typing import Any
 
-_SCHEMES = ("cr", "ir", "hmbr", "rack-hmbr", "auto")
+_SCHEMES = ("cr", "ir", "hmbr", "mlf", "rack-hmbr", "auto")
+#: schemes the adaptive re-planner can decompose and re-solve.
+_ADAPTIVE_SCHEMES = ("cr", "ir", "hmbr", "mlf")
 _PRIORITIES = ("foreground", "normal", "background")
 
 
@@ -57,12 +59,23 @@ class RepairRequest:
     * **scheduling** — ``priority``/``weight``/``arrival_s`` route through
       the concurrent scheduler (as does restricting ``stripes``);
     * **faults** — a :class:`~repro.faults.schedule.FaultSchedule` or
-      prepared injector plus the retry/backoff knobs of the fault runtime.
+      prepared injector plus the retry/backoff knobs of the fault runtime;
+    * **network** — a :class:`~repro.simnet.network.NetworkTrace` (or bare
+      :class:`~repro.simnet.dynamic.BandwidthEvent` iterable) describing
+      how capacities change while the repair runs.  Alone it perturbs the
+      timing simulation; with ``adaptive=True`` the run re-plans the
+      remaining volume whenever observed flow rates drift more than
+      ``drift_threshold`` from the plan-time prediction (at most
+      ``max_replans`` times).  ``predict_network=True`` instead keeps the
+      plan static but searches HMBR's split against the predicted
+      trajectory.
 
     ``faults`` routes the data plane through the journaled per-stripe
     fault runtime, so it composes with scheduling but not with
     ``batched``/``workers > 1`` (validation rejects the combination
-    rather than silently decoding serially).
+    rather than silently decoding serially).  ``adaptive`` likewise
+    rejects ``batched``/``workers > 1``/``faults``/scheduler fields: the
+    re-planner owns its own round structure.
     """
 
     scheme: str = "hmbr"
@@ -83,6 +96,12 @@ class RepairRequest:
     max_backoff_s: float | None = None
     backoff_jitter: float = 0.0
     backoff_seed: int = 0
+    # ---- network dynamics ----
+    network: Any = None
+    adaptive: bool = False
+    drift_threshold: float = 0.2
+    max_replans: int = 8
+    predict_network: bool = False
 
     def __post_init__(self) -> None:
         if self.scheme not in _SCHEMES:
@@ -110,6 +129,37 @@ class RepairRequest:
                 "they do not compose with batched/parallel decode "
                 "(use workers=1, batched=False)"
             )
+        if self.network is not None:
+            from repro.simnet.network import as_network
+
+            # normalize early so equality/validation errors surface at
+            # construction, not deep inside a route
+            object.__setattr__(self, "network", as_network(self.network))
+        if self.drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        if self.max_replans < 0:
+            raise ValueError("max_replans must be >= 0")
+        if self.adaptive:
+            if self.scheme not in _ADAPTIVE_SCHEMES:
+                raise ValueError(
+                    f"adaptive repair supports {_ADAPTIVE_SCHEMES}, "
+                    f"not {self.scheme!r}"
+                )
+            if self.batched or self.workers > 1:
+                raise ValueError(
+                    "adaptive repair re-plans per stripe; it does not "
+                    "compose with batched/parallel decode"
+                )
+            if self.faults is not None:
+                raise ValueError(
+                    "adaptive repair does not compose with a fault "
+                    "schedule (the fault runtime owns its own re-plans)"
+                )
+            if self.needs_scheduler():
+                raise ValueError(
+                    "adaptive repair runs as one drift-watched round; "
+                    "drop priority/weight/arrival_s/stripes"
+                )
 
     def needs_scheduler(self) -> bool:
         """Whether this request must run as a scheduler job.
@@ -259,6 +309,42 @@ class RepairResult:
             jobs=[
                 JobOutcome(
                     job_id="round0",
+                    state="done",
+                    scheme=report.scheme,
+                    priority=request.priority,
+                    stripes=tuple(report.stripes_repaired),
+                    blocks_recovered=report.blocks_recovered,
+                    wave=None,
+                    finish_s=report.simulated_transfer_s,
+                )
+            ],
+            per_stripe_transfer_s=dict(report.per_stripe_transfer_s),
+            replacements=dict(report.replacements),
+            report=report,
+        )
+
+    @classmethod
+    def from_adaptive(cls, report, request: "RepairRequest", bytes_moved: int) -> "RepairResult":
+        """Wrap an :class:`~repro.adaptive.runtime.AdaptiveRepairReport`."""
+        return cls(
+            request=request,
+            scheme=report.scheme,
+            stripes_repaired=list(report.stripes_repaired),
+            blocks_recovered=report.blocks_recovered,
+            makespan_s=report.simulated_transfer_s,
+            bytes_moved=bytes_moved,
+            bytes_on_wire_mb_model=report.bytes_on_wire_mb_model,
+            compute_s_total=report.compute_s_total,
+            plan_summary={
+                "adaptive": True,
+                "rounds": report.rounds,
+                "replans": report.replans,
+                "wasted_mb": report.wasted_mb,
+                "pieces_per_stripe": dict(report.pieces_per_stripe),
+            },
+            jobs=[
+                JobOutcome(
+                    job_id="adaptive0",
                     state="done",
                     scheme=report.scheme,
                     priority=request.priority,

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -89,6 +90,9 @@ class ServeRequest:
     into that many pipelined sub-block slices (1 = the barrier model);
     ``fast_path`` lets ops arriving after a queued repair's estimated
     landing read the rebuilt block from its spare instead of degrading.
+    ``network`` (anything :func:`~repro.simnet.network.as_network`
+    accepts) perturbs the merged simulation with its bandwidth events, so
+    client traffic and repair flows contend on a *changing* network.
     """
 
     spec: WorkloadSpec
@@ -97,9 +101,14 @@ class ServeRequest:
     decode_mbps: float = 1024.0
     chunks: int = 1
     fast_path: bool = True
+    network: Any = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "repair", tuple(self.repair))
+        if self.network is not None:
+            from repro.simnet.network import as_network
+
+            object.__setattr__(self, "network", as_network(self.network))
         if self.foreground_weight <= 0:
             raise ValueError("foreground_weight must be positive")
         if self.decode_mbps <= 0:
@@ -222,6 +231,7 @@ class ServingPlane:
         decode_mbps: float = 1024.0,
         chunks: int = 1,
         fast_path: bool = True,
+        network=None,
         backend=None,
     ):
         if foreground_weight <= 0:
@@ -236,6 +246,8 @@ class ServingPlane:
         self.decode_mbps = decode_mbps
         self.chunks = int(chunks)
         self.fast_path = fast_path
+        #: how capacities change during the run (see ``ServeRequest.network``).
+        self.network = network
         #: kernel-tier spec for degraded-read decodes (name / instance /
         #: ``None`` = auto); forwarded to every engine this plane builds.
         self.backend = backend
@@ -586,6 +598,7 @@ class ServingPlane:
         return coord.sched.run_pending(
             verify=all(r.verify for r in reqs),
             faults=faulted[0].faults if faulted else None,
+            network=self.network,
             workers=workers,
             batched=any(r.batched for r in reqs) or workers > 1,
             foreground=tuple(fg_tasks),

@@ -4,9 +4,10 @@ import pytest
 
 from repro.cluster.node import Node
 from repro.cluster.topology import Cluster
-from repro.simnet.dynamic import BandwidthEvent, degrade_nodes
+from repro.simnet.dynamic import BandwidthEvent
 from repro.simnet.flows import Flow
 from repro.simnet.fluid import FluidSimulator
+from repro.simnet.network import NetworkTrace
 
 
 def two_node_cluster(up=100.0, down=100.0):
@@ -98,14 +99,25 @@ def test_many_events_drain_in_order_and_in_linear_time():
     assert elapsed < 10.0, f"event drain took {elapsed:.1f}s — quadratic again?"
 
 
-def test_degrade_nodes_helper():
+def test_degrade_trace_lowering():
     cl = Cluster([Node(0, 100, 200, cross_uplink=20), Node(1, 100, 100)])
-    events = degrade_nodes([0], at_time=2.0, factor=4.0, cluster=cl)
+    events = NetworkTrace.degrade([0], at_time=2.0, factor=4.0).events_for(cl)
     assert len(events) == 1
     ev = events[0]
     assert ev.uplink == 25.0 and ev.downlink == 50.0 and ev.cross_uplink == 5.0
     with pytest.raises(ValueError):
-        degrade_nodes([0], 1.0, 0.0, cl)
+        NetworkTrace.degrade([0], at_time=1.0, factor=0.0)
+
+
+def test_degrade_nodes_shim_warns_and_matches_facade():
+    """The legacy helper still works, warns once, and is event-identical."""
+    from repro.simnet.dynamic import degrade_nodes
+
+    cl = Cluster([Node(0, 100, 200, cross_uplink=20), Node(1, 100, 100)])
+    with pytest.warns(DeprecationWarning, match="degrade_nodes"):
+        legacy = degrade_nodes([0, 1], at_time=2.0, factor=4.0, cluster=cl)
+    facade = NetworkTrace.degrade([0, 1], at_time=2.0, factor=4.0).events_for(cl)
+    assert legacy == facade
 
 
 def test_dynamics_aware_hybrid_never_worse_than_stale():
@@ -117,7 +129,9 @@ def test_dynamics_aware_hybrid_never_worse_than_stale():
     ctx = sc.ctx
     # survivors' uplinks collapse shortly into the repair
     survivors = ctx.survivor_nodes()
-    events = degrade_nodes(survivors[:8], at_time=1.0, factor=8.0, cluster=ctx.cluster)
+    events = NetworkTrace.degrade(
+        survivors[:8], at_time=1.0, factor=8.0
+    ).events_for(ctx.cluster)
     sim = FluidSimulator(ctx.cluster)
     stale = plan_hybrid(ctx)  # planned against the snapshot
     aware = plan_hybrid(ctx, events=events)

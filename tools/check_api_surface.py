@@ -34,6 +34,7 @@ GOLDEN = REPO / "tests" / "golden" / "api_surface.json"
 #: every package whose ``__all__`` is public, in report order.
 PUBLIC_MODULES = [
     "repro",
+    "repro.adaptive",
     "repro.analysis",
     "repro.cluster",
     "repro.ec",

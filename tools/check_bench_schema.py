@@ -6,8 +6,8 @@ Usage::
     python tools/check_bench_schema.py [path ...]
 
 Defaults to the repo-root ``BENCH_batch.json``, ``BENCH_sched.json``,
-``BENCH_parallel.json``, ``BENCH_serving.json``, and
-``BENCH_reliability.json``.
+``BENCH_parallel.json``, ``BENCH_serving.json``,
+``BENCH_reliability.json``, and ``BENCH_adaptive.json``.
 Exits non-zero (listing every violation) if a document does not match the
 schema the benchmarks emit, so CI catches a drifting artifact before it is
 uploaded:
@@ -33,7 +33,12 @@ uploaded:
   ``reliability.nines`` point whose ``nines_hmbr`` strictly exceeds
   ``nines_cr`` (faster multi-block repair must buy durability), and its
   ``env`` must report a positive ``fastpath_speedup_x`` — the measured
-  advantage of metadata-only simulation over byte materialization.
+  advantage of metadata-only simulation over byte materialization;
+* suite ``adaptive-replan`` additionally carries at least one
+  ``adaptive.replan*`` point whose ``t_adaptive_s`` strictly beats
+  ``t_static_s``, and its ``env`` must report ``adaptive_speedup_x``
+  strictly above 1 — re-planning the remaining volume under churn has to
+  win, or the adaptive layer is dead weight.
 """
 
 import json
@@ -110,6 +115,8 @@ def check_doc(doc, errors):
         check_chunk_sweep(points, errors)
     if doc.get("suite") == "reliability-simulator":
         check_reliability(doc, points, errors)
+    if doc.get("suite") == "adaptive-replan":
+        check_adaptive(doc, points, errors)
 
 
 #: full-fidelity floor for the native kernel tier vs the NumPy tier on
@@ -233,6 +240,45 @@ def check_reliability(doc, points, errors):
         )
 
 
+def check_adaptive(doc, points, errors):
+    """The adaptive suite must pin that re-planning beats the static plan."""
+    numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)  # noqa: E731
+    env = doc.get("env")
+    speedup = env.get("adaptive_speedup_x") if isinstance(env, dict) else None
+    if not numeric(speedup) or not math.isfinite(speedup):
+        errors.append("adaptive suite env needs a finite adaptive_speedup_x")
+    elif not speedup > 1.0:
+        errors.append(
+            f"adaptive suite env adaptive_speedup_x ({speedup}) must be "
+            "strictly > 1: re-planning under churn has to win"
+        )
+    replans = [
+        p
+        for p in points
+        if isinstance(p, dict)
+        and isinstance(p.get("bench"), str)
+        and p["bench"].startswith("adaptive.replan")
+    ]
+    if not replans:
+        errors.append("adaptive suite lacks an 'adaptive.replan*' point")
+        return
+    for p in replans:
+        metrics = p.get("metrics")
+        if not isinstance(metrics, dict):
+            continue  # already reported by the generic point checks
+        t_static = metrics.get("t_static_s")
+        t_adaptive = metrics.get("t_adaptive_s")
+        if not (numeric(t_static) and numeric(t_adaptive)):
+            errors.append(
+                f"{p['bench']} needs numeric t_static_s and t_adaptive_s"
+            )
+        elif not t_adaptive < t_static:
+            errors.append(
+                f"{p['bench']} t_adaptive_s ({t_adaptive}) must be strictly "
+                f"below t_static_s ({t_static})"
+            )
+
+
 def check_file(path: Path) -> list[str]:
     """All schema violations for one artifact file (empty list == valid)."""
     if not path.exists():
@@ -253,6 +299,7 @@ def main(argv: list[str]) -> int:
         REPO / "BENCH_parallel.json",
         REPO / "BENCH_serving.json",
         REPO / "BENCH_reliability.json",
+        REPO / "BENCH_adaptive.json",
     ]
     failures = []
     for path in paths:
